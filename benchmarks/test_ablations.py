@@ -1,0 +1,208 @@
+"""Ablations of the design choices DESIGN.md §7 calls out.
+
+These are not paper figures; they quantify how much each modeling choice
+matters, which is what a reviewer of the reproduction would ask next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import sweep_threads
+from repro.fdt.estimators import estimate
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
+from repro.fdt.runner import run_application
+from repro.fdt.training import TrainingConfig
+from repro.models import bat_model
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import get
+
+BASE = MachineConfig.asplos08_baseline()
+
+
+def test_ablation_lock_grant_order(benchmark, save_result):
+    """FIFO vs LIFO lock grant: fairness changes who waits, and unfair
+    grant lengthens the barrier-bound critical path of the Figure-1
+    pattern (late-granted threads delay the whole page)."""
+
+    def run():
+        rows = []
+        for order in ("fifo", "lifo"):
+            cfg = replace(BASE, lock_grant_order=order)
+            res = run_application(get("PageMine").build(0.25),
+                                  StaticPolicy(8), cfg)
+            rows.append((order, res.cycles, res.power))
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result("ablation_lock_grant",
+                ascii_table(("grant order", "cycles", "power"), rows))
+    fifo_cycles = rows[0][1]
+    lifo_cycles = rows[1][1]
+    # Same serialized work either way: total time within ~10%.
+    assert lifo_cycles == pytest.approx(fifo_cycles, rel=0.1)
+
+
+def test_ablation_training_length(benchmark, save_result):
+    """Longer training refines the estimate but costs serial cycles.
+
+    Sweeping the iteration cap shows the paper's 1%-with-stability rule
+    is on the flat part of the accuracy curve: more training does not
+    change the decision, it only adds time.
+    """
+
+    def run():
+        rows = []
+        # (cap fraction, floor, stability tolerance); tolerance 0
+        # disables the early-stop so training runs to the cap.
+        for frac, floor, tol in ((0.005, 3, 0.05), (0.01, 5, 0.05),
+                                 (0.05, 5, 0.0), (0.15, 5, 0.0)):
+            policy = FdtPolicy(FdtMode.SAT, training=TrainingConfig(
+                max_iteration_fraction=frac, min_iterations=floor,
+                stability_tolerance=tol))
+            res = run_application(get("PageMine").build(0.5), policy, BASE)
+            info = res.kernel_infos[0]
+            rows.append((f"{frac:.1%}/{floor}/{tol:g}",
+                         info.trained_iterations, info.threads, res.cycles))
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result("ablation_training_length", ascii_table(
+        ("cap (frac/floor/tol)", "trained iters", "decision", "cycles"),
+        rows))
+    decisions = {r[2] for r in rows}
+    assert max(decisions) - min(decisions) <= 1, "decision is stable"
+    # Forced-longer training costs strictly more total time.
+    assert rows[-1][1] > rows[1][1]
+    assert rows[-1][3] > rows[1][3]
+
+
+def test_ablation_bat_rounding(benchmark, save_result):
+    """BAT rounds P_BW *up* (paper §5.2).  Rounding down undershoots the
+    saturation point and leaves measurable performance behind."""
+
+    def run():
+        machine = Machine(BASE)
+        res = run_application(get("ED").build(0.2), FdtPolicy(FdtMode.BAT),
+                              machine=machine)
+        info = res.kernel_infos[0]
+        bu1 = info.estimates.bu1
+        up = bat_model.predicted_thread_count(bu1, 32)
+        down = max(1, int(1.0 / bu1))
+        t_up = sweep_threads(lambda: get("ED").build(0.2), (up,), BASE)
+        t_down = sweep_threads(lambda: get("ED").build(0.2), (down,), BASE)
+        return bu1, up, down, t_up.points[0].cycles, t_down.points[0].cycles
+
+    bu1, up, down, c_up, c_down = run_once(benchmark, run)
+    save_result("ablation_bat_rounding", ascii_table(
+        ("BU_1", "round up", "round down", "cycles up", "cycles down"),
+        [(f"{bu1:.3f}", up, down, c_up, c_down)]))
+    assert up >= down
+    assert c_up <= c_down * 1.01  # rounding up never hurts
+
+
+def test_ablation_linear_bandwidth_assumption(benchmark, save_result):
+    """Eq. 4 assumes utilization scales linearly with threads.  The
+    simulator's measured utilization is mildly sub-linear near the knee
+    (DRAM and bus queueing), which is exactly why the paper's BAT
+    prediction for ED (7) sits one below the true knee (8)."""
+
+    def run():
+        sweep = sweep_threads(lambda: get("ED").build(0.2),
+                              (1, 2, 4, 6, 7, 8), BASE)
+        bu1 = sweep.points[0].bus_utilization
+        rows = [(p.threads, p.bus_utilization, min(1.0, bu1 * p.threads))
+                for p in sweep.points]
+        return bu1, rows
+
+    bu1, rows = run_once(benchmark, run)
+    save_result("ablation_linear_bw", ascii_table(
+        ("threads", "measured BU", "Eq.4 linear BU"), rows))
+    for threads, measured, linear in rows:
+        assert measured <= linear + 0.02, "never super-linear"
+    # Sub-linearity is mild below the knee (within ~12%).
+    for threads, measured, linear in rows[:4]:
+        assert measured >= 0.88 * linear
+
+
+def test_ablation_dram_page_policy(benchmark, save_result):
+    """Open-page vs closed-page DRAM: the streaming kernels earn their
+    row hits, so closing the page after every access slows single-thread
+    streams and shifts BU_1 upward."""
+
+    def run():
+        rows = []
+        for open_page in (True, False):
+            cfg = replace(BASE, dram_open_page=open_page)
+            machine = Machine(cfg)
+            res = run_application(get("ED").build(0.1), StaticPolicy(1),
+                                  machine=machine)
+            r = res.result
+            rows.append(("open" if open_page else "closed", r.cycles,
+                         round(r.bus_utilization, 4),
+                         round(machine.memsys.dram.stats.row_hit_rate, 3)))
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result("ablation_dram_page", ascii_table(
+        ("policy", "cycles", "BU_1", "row-hit rate"), rows))
+    open_row, closed_row = rows
+    assert open_row[3] > 0.9, "open-page stream row-hits"
+    assert closed_row[3] == 0.0, "closed-page never row-hits"
+    assert closed_row[1] > open_row[1], "closed-page is slower"
+
+
+def test_ablation_idle_power_floor(benchmark, save_result):
+    """The paper's power metric gates idle cores perfectly.  With a
+    leakage floor (idle cores at 20% of active power), FDT's saving
+    shrinks but remains decisive for CS-limited workloads."""
+    from repro.power import ActiveCorePowerModel
+
+    def run():
+        base = run_application(get("PageMine").build(0.25), StaticPolicy(),
+                               BASE)
+        fdt = run_application(get("PageMine").build(0.25), FdtPolicy(), BASE)
+        rows = []
+        for idle in (0.0, 0.2, 0.5):
+            model = ActiveCorePowerModel(32, idle_fraction=idle)
+            saving = 1 - model.power(fdt.result) / model.power(base.result)
+            rows.append((f"{idle:.0%}", f"{saving:.1%}"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result("ablation_idle_power", ascii_table(
+        ("idle power fraction", "FDT power saving"), rows))
+    savings = [float(r[1].rstrip("%")) for r in rows]
+    assert savings[0] > savings[1] > savings[2]
+    assert savings[1] > 30.0  # still large with 20% leakage
+
+
+def test_ablation_ring_bandwidth(benchmark, save_result):
+    """Narrow-ring ablation (paper §9: interconnect contention as a
+    future FDT target).  With 16-cycle link occupancy (a 4-byte-wide
+    ring), coherence traffic contends on shared segments and the
+    CS-limited kernel's knee shifts toward fewer threads."""
+
+    def run():
+        rows = []
+        for occupancy in (0, 16):
+            cfg = replace(BASE, ring_link_occupancy=occupancy)
+            machine = Machine(cfg)
+            res = run_application(get("PageMine").build(0.25),
+                                  StaticPolicy(8), machine=machine)
+            rows.append((occupancy, res.cycles,
+                         machine.ring.stats.link_wait_cycles))
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result("ablation_ring_bandwidth", ascii_table(
+        ("link occupancy", "cycles", "link wait cycles"), rows))
+    wide, narrow = rows
+    assert wide[2] == 0, "the 64-byte ring never waits"
+    assert narrow[2] > 0, "the narrow ring contends"
+    assert narrow[1] > wide[1], "contention costs time"

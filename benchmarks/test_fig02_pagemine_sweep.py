@@ -1,0 +1,26 @@
+"""Figure 2: PageMine normalized execution time vs 1-32 threads.
+
+Paper shape: time falls to a minimum around 4-6 threads and rises
+substantially beyond, ending worse than single-threaded at 32.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig02_pagemine import run_fig2
+
+
+def test_fig02_pagemine_sweep(benchmark, save_result):
+    result = run_once(benchmark, lambda: run_fig2(scale=0.25))
+    save_result("fig02_pagemine", result.format())
+
+    curve = dict(zip(result.thread_counts, result.normalized_times))
+    # The minimum sits at a small thread count (paper: ~4).
+    assert 3 <= result.best_threads <= 6
+    # Initial scaling helps...
+    assert curve[2] < 0.75
+    # ...the curve turns upward past the knee...
+    assert curve[16] > curve[8] > curve[result.best_threads]
+    # ...and 32 threads are worse than one (critical section dominates).
+    assert curve[32] > 1.0

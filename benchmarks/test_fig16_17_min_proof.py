@@ -1,0 +1,29 @@
+"""Figures 16/17 (appendix): Eq. 7's min(P_CS, P_BW) is optimal.
+
+Both orderings are evaluated on the combined model and the Eq. 7 choice
+is checked against a brute-force argmin.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig16_17_proof import run_fig16_17
+
+
+def test_fig16_17_min_optimality(benchmark, save_result):
+    result = run_once(benchmark, run_fig16_17)
+    save_result("fig16_17_min_proof", result.format())
+
+    case16, case17 = result.cases
+    # Figure 16: P_CS < P_BW -> the CS bound sets the optimum.
+    assert case16.eq7_choice == 5
+    assert case16.eq7_is_optimal
+    # Figure 17: P_BW < P_CS -> the bandwidth bound sets the optimum.
+    assert case17.eq7_choice == 5
+    assert case17.eq7_is_optimal
+    # Past the chosen point both curves rise (linearly in the CS term).
+    for case in result.cases:
+        curve = case.curve
+        assert curve[10] > curve[case.eq7_choice - 1]
+        assert curve[31] > curve[10]

@@ -1,0 +1,63 @@
+"""Simulator throughput benchmarks (host performance, not paper results).
+
+These use pytest-benchmark's statistics properly (multiple rounds) to
+track the simulator's own speed: simulated cycles and memory ops per
+host second for representative op mixes.  Useful for catching
+performance regressions in the hot paths (event loop, memory walk).
+"""
+
+from __future__ import annotations
+
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import run_application
+from repro.isa.ops import Compute, Load
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import get
+
+
+def test_throughput_compute_bound(benchmark):
+    """Event-loop hot path: compute ops only."""
+
+    def run():
+        m = Machine(MachineConfig.small())
+
+        def factory(tid, team):
+            for _ in range(2000):
+                yield Compute(64)
+
+        m.run_parallel([factory] * 4, spawn_overhead=False)
+        return m.now
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0
+
+
+def test_throughput_miss_bound(benchmark):
+    """Memory-walk hot path: every load is an L3 miss."""
+
+    def run():
+        m = Machine(MachineConfig.asplos08_baseline())
+
+        def factory(tid, team):
+            base = (1 << 22) + tid * (1 << 20)
+            for k in range(1500):
+                yield Load(base + k * 64)
+
+        m.run_parallel([factory] * 8, spawn_overhead=False)
+        return m.memsys.bus.stats.transfers
+
+    transfers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert transfers == 8 * 1500
+
+
+def test_throughput_full_workload(benchmark):
+    """End-to-end: one small PageMine run under static threading."""
+
+    def run():
+        res = run_application(get("PageMine").build(0.1), StaticPolicy(8),
+                              MachineConfig.asplos08_baseline())
+        return res.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

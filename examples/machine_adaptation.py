@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Machine adaptation: BAT retunes to the bus bandwidth (paper §5.4).
+
+The thread count that saturates the off-chip bus is a property of the
+machine, not the program.  Running the paper's convert kernel on
+machines with half and double the baseline bandwidth, BAT's training
+measures BU_1 on the machine at hand and picks accordingly — a count
+tuned statically for one machine wastes the other.
+
+Run:  python examples/machine_adaptation.py
+"""
+
+from repro import FdtMode, FdtPolicy, MachineConfig, StaticPolicy, run_application
+from repro.analysis import sweep_threads
+from repro.workloads import get
+
+GRID = (1, 2, 4, 6, 8, 12, 16, 24, 32)
+
+
+def main() -> None:
+    spec = get("convert")
+    picks: dict[float, int] = {}
+    for factor in (0.5, 1.0, 2.0):
+        config = MachineConfig.asplos08_baseline().with_bandwidth(factor)
+        bat = run_application(spec.build(), FdtPolicy(FdtMode.BAT), config)
+        info = bat.kernel_infos[0]
+        picks[factor] = info.threads
+        print(f"{factor:>4g}x bandwidth: measured BU_1 = "
+              f"{info.estimates.bu1:.1%} -> BAT runs {info.threads} threads "
+              f"(power {bat.power:.1f} cores)")
+
+    # Cross the choices: the half-bandwidth pick on the double-bandwidth
+    # machine (the paper's Figure 13 warning).
+    fast = MachineConfig.asplos08_baseline().with_bandwidth(2.0)
+    sweep = sweep_threads(lambda: spec.build(), GRID, fast)
+    crossed = run_application(spec.build(), StaticPolicy(picks[0.5]), fast)
+    print(f"\nthe {picks[0.5]}-thread choice (right for 0.5x) on the 2x "
+          f"machine: {crossed.cycles / sweep.min_cycles:.2f}x the minimum "
+          f"execution time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: run one workload under Feedback-Driven Threading.
+
+Runs the paper's PageMine kernel twice on the simulated 32-core CMP —
+once with conventional threading (one thread per core) and once under
+the combined SAT+BAT policy — and reports what FDT measured, what it
+decided, and what that bought.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FdtPolicy, MachineConfig, StaticPolicy, run_application, workloads
+
+
+def main() -> None:
+    config = MachineConfig.asplos08_baseline()
+    spec = workloads.get("PageMine")
+    print(f"Workload: {spec.name} — {spec.description}")
+    print(f"Machine:  {config.num_cores}-core CMP (paper Table 1)\n")
+
+    baseline = run_application(spec.build(scale=0.5), StaticPolicy(), config)
+    print(f"conventional threading: {baseline.threads_used[0]} threads, "
+          f"{baseline.cycles:,} cycles, power {baseline.power:.1f} cores")
+
+    fdt = run_application(spec.build(scale=0.5), FdtPolicy(), config)
+    info = fdt.kernel_infos[0]
+    est = info.estimates
+    print(f"\nFDT training: {info.trained_iterations} iterations "
+          f"({info.training_cycles:,} cycles), stopped by {info.stop_reason}")
+    print(f"  measured T_CS/T_NoCS = {est.cs_fraction:.1%}  "
+          f"-> P_CS = {est.p_cs}")
+    print(f"  measured BU_1       = {est.bu1:.1%}  -> P_BW = {est.p_bw}")
+    print(f"  decision: min(P_CS, P_BW, cores) = {info.threads} threads")
+
+    print(f"\nFDT execution: {fdt.cycles:,} cycles, "
+          f"power {fdt.power:.1f} cores")
+    print(f"  speedup vs conventional: {baseline.cycles / fdt.cycles:.2f}x")
+    print(f"  power saving:            "
+          f"{1 - fdt.power / baseline.power:.0%}")
+
+
+if __name__ == "__main__":
+    main()

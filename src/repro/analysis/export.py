@@ -1,0 +1,69 @@
+"""CSV export for sweeps and figure results (plot with anything).
+
+The repository deliberately has no plotting dependency; these helpers
+write the exact series the figures plot so any external tool (gnuplot,
+matplotlib, a spreadsheet) can render them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.sweep import SweepResult
+from repro.fdt.runner import AppRunResult
+
+
+def _write(rows: Iterable[Sequence[object]], header: Sequence[str],
+           path: Path | None) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def sweep_to_csv(sweep: SweepResult, path: Path | None = None) -> str:
+    """One row per sweep point: the axes of Figures 2/4/8/12/13."""
+    base = sweep.points[0].cycles
+    rows = [
+        (p.threads, p.cycles, round(p.cycles / base, 6),
+         round(p.power, 4), round(p.bus_utilization, 6))
+        for p in sweep.points
+    ]
+    return _write(rows, ("threads", "cycles", "norm_time", "power",
+                         "bus_utilization"), path)
+
+
+def runs_to_csv(runs: Iterable[AppRunResult],
+                path: Path | None = None) -> str:
+    """One row per application run: the bars of Figures 14/15."""
+    rows = []
+    for run in runs:
+        rows.append((
+            run.app_name,
+            run.policy_name,
+            run.cycles,
+            round(run.power, 4),
+            "/".join(str(t) for t in run.threads_used),
+            round(run.mean_threads, 3),
+        ))
+    return _write(rows, ("application", "policy", "cycles", "power",
+                         "threads", "mean_threads"), path)
+
+
+def series_to_csv(x: Sequence[object], ys: dict[str, Sequence[object]],
+                  x_name: str = "x", path: Path | None = None) -> str:
+    """Generic aligned-series export (utilization curves, model fits)."""
+    for name, series in ys.items():
+        if len(series) != len(x):
+            raise ValueError(f"series {name!r} is not aligned with x")
+    header = [x_name, *ys.keys()]
+    rows = [[xv, *(ys[k][i] for k in ys)] for i, xv in enumerate(x)]
+    return _write(rows, header, path)

@@ -1,0 +1,209 @@
+"""Command-line interface: run workloads, sweeps, and paper figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                         # Table 2 roster
+    python -m repro run PageMine --policy fdt    # one application run
+    python -m repro run ED --policy static --threads 8
+    python -m repro sweep PageMine --threads 1,2,4,8,16,32
+    python -m repro figure fig2                  # regenerate a figure
+    python -m repro machine                      # Table 1 dump
+
+Every command accepts ``--scale`` (input-set scaling) and the machine
+knobs ``--cores`` and ``--bandwidth``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.oracle import oracle_choice
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import sweep_threads
+from repro.errors import ReproError
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import all_specs, get
+
+_FIGURES = {
+    "table1": ("repro.experiments.tables", "run_table1"),
+    "table2": ("repro.experiments.tables", "run_table2"),
+    "fig2": ("repro.experiments.fig02_pagemine", "run_fig2"),
+    "fig4": ("repro.experiments.fig04_ed", "run_fig4"),
+    "fig6": ("repro.experiments.fig06_cs_example", "run_fig6"),
+    "fig8": ("repro.experiments.fig08_sat", "run_fig8"),
+    "fig9": ("repro.experiments.fig09_pagesize", "run_fig9"),
+    "fig11": ("repro.experiments.fig11_bw_example", "run_fig11"),
+    "fig12": ("repro.experiments.fig12_bat", "run_fig12"),
+    "fig13": ("repro.experiments.fig13_bandwidth", "run_fig13"),
+    "fig14": ("repro.experiments.fig14_combined", "run_fig14"),
+    "fig15": ("repro.experiments.fig15_oracle", "run_fig15"),
+    "fig16": ("repro.experiments.fig16_17_proof", "run_fig16_17"),
+    "smt": ("repro.experiments.smt_extension", "run_smt"),
+    "crossover": ("repro.experiments.crossover", "run_crossover"),
+}
+
+
+def _machine_config(args: argparse.Namespace) -> MachineConfig:
+    config = MachineConfig.asplos08_baseline()
+    if args.cores is not None:
+        config = config.with_cores(args.cores)
+    if args.bandwidth is not None:
+        config = config.with_bandwidth(args.bandwidth)
+    if getattr(args, "smt", None) is not None:
+        config = config.with_smt(args.smt)
+    return config
+
+
+def _policy(args: argparse.Namespace) -> ThreadingPolicy:
+    if args.policy == "static":
+        return StaticPolicy(args.threads)
+    mode = {"fdt": FdtMode.COMBINED, "sat": FdtMode.SAT,
+            "bat": FdtMode.BAT}[args.policy]
+    return FdtPolicy(mode)
+
+
+def _parse_thread_list(text: str) -> tuple[int, ...]:
+    try:
+        counts = tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise ReproError(f"bad thread list {text!r}; expected e.g. 1,2,4,8")
+    if not counts:
+        raise ReproError("thread list is empty")
+    return counts
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [(s.name, s.category.value, s.description, s.repro_input)
+            for s in all_specs()]
+    print(ascii_table(("workload", "class", "description", "input"), rows))
+    return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import Table1Result
+    print(Table1Result(config=_machine_config(args)).format())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _machine_config(args)
+    spec = get(args.workload)
+    machine = None
+    if args.report is not None:
+        from repro.sim.machine import Machine
+        machine = Machine(config)
+    result = run_application(spec.build(args.scale), _policy(args), config,
+                             machine=machine)
+    print(f"{spec.name} under {result.policy_name} "
+          f"on {config.num_cores} cores:")
+    for info in result.kernel_infos:
+        line = (f"  {info.kernel_name}: {info.threads} threads, "
+                f"{info.total_cycles:,} cycles")
+        if info.estimates is not None:
+            est = info.estimates
+            line += (f"  [trained {info.trained_iterations} iters: "
+                     f"CS {est.cs_fraction:.1%}, BU_1 {est.bu1:.1%}, "
+                     f"P_CS {est.p_cs}, P_BW {est.p_bw}]")
+        print(line)
+    print(f"total: {result.cycles:,} cycles, power {result.power:.2f} "
+          f"active cores")
+    if args.report is not None and machine is not None:
+        from pathlib import Path
+
+        from repro.analysis.inspection import machine_report_json
+        Path(args.report).write_text(machine_report_json(machine))
+        print(f"machine report written to {args.report}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _machine_config(args)
+    spec = get(args.workload)
+    counts = _parse_thread_list(args.threads)
+    sweep = sweep_threads(lambda: spec.build(args.scale), counts, config)
+    base = sweep.points[0].cycles
+    rows = [(p.threads, p.cycles, f"{p.cycles / base:.3f}",
+             f"{p.power:.1f}", f"{p.bus_utilization:.1%}")
+            for p in sweep.points]
+    print(ascii_table(
+        ("threads", "cycles", "norm time", "power", "bus util"), rows))
+    oracle = oracle_choice(sweep)
+    print(f"\nbest: {sweep.best_threads} threads; "
+          f"oracle (fewest within 1%): {oracle.threads} threads")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+    module_name, func_name = _FIGURES[args.name]
+    module = importlib.import_module(module_name)
+    runner = getattr(module, func_name)
+    result = runner()
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Feedback-Driven Threading (ASPLOS 2008) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cores", type=int, default=None,
+                       help="core count (default: 32)")
+        p.add_argument("--bandwidth", type=float, default=None,
+                       help="bus bandwidth factor (e.g. 0.5, 2.0)")
+        p.add_argument("--smt", type=int, default=None,
+                       help="SMT contexts per core (Section 9 extension)")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="input-set scale factor (default 0.5)")
+
+    p_list = sub.add_parser("list", help="list the Table 2 workloads")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_machine = sub.add_parser("machine", help="print the machine (Table 1)")
+    add_machine_args(p_machine)
+    p_machine.set_defaults(func=_cmd_machine)
+
+    p_run = sub.add_parser("run", help="run one workload under a policy")
+    p_run.add_argument("workload", help="Table 2 workload name")
+    p_run.add_argument("--policy", choices=("fdt", "sat", "bat", "static"),
+                       default="fdt")
+    p_run.add_argument("--threads", type=int, default=None,
+                       help="thread count for --policy static")
+    p_run.add_argument("--report", default=None, metavar="FILE",
+                       help="write the full machine-stats JSON to FILE")
+    add_machine_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="static thread-count sweep")
+    p_sweep.add_argument("workload", help="Table 2 workload name")
+    p_sweep.add_argument("--threads", default="1,2,4,8,16,32",
+                         help="comma-separated thread counts")
+    add_machine_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig.add_argument("name", choices=sorted(_FIGURES))
+    p_fig.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module runner
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A machine or workload configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No events remain but one or more threads have not finished.
+
+    Raised by :class:`repro.sim.machine.Machine` when the event queue
+    drains while cores are still blocked on locks or barriers, which
+    indicates a synchronization bug in the workload program.
+    """
+
+
+class ProgramError(ReproError):
+    """A thread program emitted an invalid instruction sequence."""
+
+
+class TrainingError(ReproError):
+    """FDT training could not produce an estimate."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked for an unsupported configuration."""

@@ -1,0 +1,44 @@
+"""One runner per paper table/figure (the per-experiment index lives in
+DESIGN.md §5; paper-vs-measured numbers land in EXPERIMENTS.md).
+
+Every module exposes a ``run_*`` function returning a small result
+dataclass with a ``format()`` method, so the same code backs the
+benchmark harness, the examples, and ad-hoc exploration::
+
+    from repro.experiments import fig02_pagemine
+    print(fig02_pagemine.run_fig2(scale=0.25).format())
+"""
+
+from repro.experiments import (  # noqa: F401
+    crossover,
+    fig02_pagemine,
+    fig04_ed,
+    fig06_cs_example,
+    fig08_sat,
+    fig09_pagesize,
+    fig11_bw_example,
+    fig12_bat,
+    fig13_bandwidth,
+    fig14_combined,
+    fig15_oracle,
+    fig16_17_proof,
+    smt_extension,
+    tables,
+)
+
+__all__ = [
+    "crossover",
+    "fig02_pagemine",
+    "fig04_ed",
+    "fig06_cs_example",
+    "fig08_sat",
+    "fig09_pagesize",
+    "fig11_bw_example",
+    "fig12_bat",
+    "fig13_bandwidth",
+    "fig14_combined",
+    "fig15_oracle",
+    "fig16_17_proof",
+    "smt_extension",
+    "tables",
+]

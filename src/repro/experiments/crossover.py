@@ -1,0 +1,95 @@
+"""Crossover study: Eq. 7 inside the simulator, not just the model.
+
+The appendix proves ``min(P_CS, P_BW)`` optimal for the *analytical*
+execution-time model.  This experiment checks the claim end-to-end:
+a synthetic kernel's bandwidth demand is swept while its critical
+section is held fixed, moving the binding constraint from SAT's bound
+to BAT's, and at every point the combined FDT run is compared with the
+simulated static sweep's optimum.
+
+This is an experiment the paper does not include; it closes the loop
+between the appendix's Figures 16/17 and the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import sweep_threads
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads.synthetic import build_synthetic
+
+
+@dataclass(frozen=True, slots=True)
+class CrossoverPoint:
+    """One bandwidth-demand setting of the synthetic kernel."""
+
+    bus_lines: int
+    p_cs: int
+    p_bw: int
+    fdt_threads: int
+    best_static_threads: int
+    fdt_vs_best: float
+
+    @property
+    def binding(self) -> str:
+        """Which bound Eq. 7 selected."""
+        if self.p_bw < self.p_cs:
+            return "BAT"
+        if self.p_cs < self.p_bw:
+            return "SAT"
+        return "tie"
+
+
+@dataclass(frozen=True, slots=True)
+class CrossoverResult:
+    points: tuple[CrossoverPoint, ...]
+
+    @property
+    def crossed(self) -> bool:
+        """The sweep moved the binding constraint at least once."""
+        kinds = {p.binding for p in self.points if p.binding != "tie"}
+        return len(kinds) == 2
+
+    def format(self) -> str:
+        rows = [(p.bus_lines, p.p_cs, p.p_bw, p.binding, p.fdt_threads,
+                 p.best_static_threads, p.fdt_vs_best) for p in self.points]
+        return ("Crossover study: Eq. 7 with the binding limiter swept\n"
+                + ascii_table(("bus lines/iter", "P_CS", "P_BW", "binding",
+                               "FDT T", "best static T", "FDT/min time"),
+                              rows))
+
+
+def run_crossover(bus_lines: Sequence[int] = (0, 16, 64, 160),
+                  cs_fraction: float = 0.02,
+                  iterations: int = 192,
+                  thread_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8,
+                                                  10, 12, 16, 24, 32),
+                  config: MachineConfig | None = None) -> CrossoverResult:
+    """Sweep bandwidth demand across the SAT/BAT crossover."""
+    cfg = config or MachineConfig.asplos08_baseline()
+    points = []
+    for lines in bus_lines:
+        def build(lines=lines):
+            return build_synthetic(cs_fraction=cs_fraction, bus_lines=lines,
+                                   iterations=iterations)
+        sweep = sweep_threads(build, thread_counts, cfg)
+        fdt = run_application(build(), FdtPolicy(FdtMode.COMBINED), cfg)
+        info = fdt.kernel_infos[0]
+        points.append(CrossoverPoint(
+            bus_lines=lines,
+            p_cs=info.estimates.p_cs,
+            p_bw=info.estimates.p_bw,
+            fdt_threads=info.threads,
+            best_static_threads=sweep.best_threads,
+            fdt_vs_best=fdt.cycles / sweep.min_cycles,
+        ))
+    return CrossoverResult(points=tuple(points))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_crossover().format())

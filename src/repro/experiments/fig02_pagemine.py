@@ -1,0 +1,56 @@
+"""Figure 2: PageMine normalized execution time vs. 1-32 threads.
+
+Paper shape: execution time falls until ~4 threads, turns upward beyond
+~6, and by 32 threads is worse than single-threaded — the critical
+section has taken over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_series
+from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+
+@dataclass(frozen=True, slots=True)
+class Fig2Result:
+    """The figure's single series."""
+
+    sweep: SweepResult
+
+    @property
+    def thread_counts(self) -> tuple[int, ...]:
+        return self.sweep.thread_counts
+
+    @property
+    def normalized_times(self) -> list[float]:
+        return self.sweep.normalized_curve(base_threads=1)
+
+    @property
+    def best_threads(self) -> int:
+        return self.sweep.best_threads
+
+    def format(self) -> str:
+        chart = ascii_series(
+            list(self.thread_counts), self.normalized_times,
+            title="Figure 2: PageMine normalized execution time vs threads")
+        return (f"{chart}\n"
+                f"best thread count: {self.best_threads} "
+                f"(paper: minimum near 4, rising beyond 6)")
+
+
+def run_fig2(scale: float = 0.5,
+             thread_counts: Sequence[int] = COARSE_GRID,
+             config: MachineConfig | None = None) -> Fig2Result:
+    """Regenerate Figure 2 at the given workload scale."""
+    spec = get("PageMine")
+    sweep = sweep_threads(lambda: spec.build(scale), thread_counts, config)
+    return Fig2Result(sweep=sweep)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig2().format())

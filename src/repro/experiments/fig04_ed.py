@@ -1,0 +1,65 @@
+"""Figure 4: ED normalized execution time (a) and bus utilization (b).
+
+Paper shape: execution time drops as 1/P until ~8 threads then goes
+flat; bus utilization climbs linearly to 100 % at the same knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_series
+from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+
+@dataclass(frozen=True, slots=True)
+class Fig4Result:
+    """Both panels of the figure."""
+
+    sweep: SweepResult
+
+    @property
+    def thread_counts(self) -> tuple[int, ...]:
+        return self.sweep.thread_counts
+
+    @property
+    def normalized_times(self) -> list[float]:
+        return self.sweep.normalized_curve(base_threads=1)
+
+    @property
+    def bus_utilizations(self) -> list[float]:
+        return self.sweep.utilization_curve()
+
+    @property
+    def saturation_threads(self) -> int:
+        """First thread count at which bus utilization reaches ~100 %."""
+        for p in self.sweep.points:
+            if p.bus_utilization >= 0.97:
+                return p.threads
+        return self.sweep.points[-1].threads
+
+    def format(self) -> str:
+        xs = list(self.thread_counts)
+        a = ascii_series(xs, self.normalized_times,
+                         title="Figure 4a: ED normalized execution time")
+        b = ascii_series(xs, self.bus_utilizations,
+                         title="Figure 4b: ED bus utilization")
+        return (f"{a}\n\n{b}\n"
+                f"bus saturates at {self.saturation_threads} threads "
+                f"(paper: 8)")
+
+
+def run_fig4(scale: float = 0.25,
+             thread_counts: Sequence[int] = COARSE_GRID,
+             config: MachineConfig | None = None) -> Fig4Result:
+    """Regenerate Figure 4 at the given workload scale."""
+    spec = get("ED")
+    sweep = sweep_threads(lambda: spec.build(scale), thread_counts, config)
+    return Fig4Result(sweep=sweep)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig4().format())

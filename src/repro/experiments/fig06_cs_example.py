@@ -1,0 +1,45 @@
+"""Figure 6: the paper's worked critical-section example.
+
+A program spends 20 % of single-threaded time in the critical section
+(2 of 10 units).  Eq. 1 gives exactly the paper's numbers: 10 units at
+P=1, 8 at P=2, back to 10 at P=4, and 17 at P=8 — with the optimum at
+P = sqrt(8/2) = 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_table
+from repro.models.sat_model import SatModel
+
+
+@dataclass(frozen=True, slots=True)
+class Fig6Result:
+    """The example's model and its evaluation at the paper's points."""
+
+    model: SatModel
+    thread_counts: tuple[int, ...]
+    times: tuple[float, ...]
+
+    def format(self) -> str:
+        rows = [(p, t) for p, t in zip(self.thread_counts, self.times)]
+        table = ascii_table(("threads", "execution time (units)"), rows,
+                            float_format="{:.0f}")
+        return (f"Figure 6: 20% critical section, Eq. 1\n{table}\n"
+                f"optimum at P = {self.model.optimal_threads():.0f} threads")
+
+
+def run_fig6(t_nocs: float = 8.0, t_cs: float = 2.0) -> Fig6Result:
+    """Evaluate the worked example (defaults are the paper's values)."""
+    model = SatModel(t_nocs=t_nocs, t_cs=t_cs)
+    threads = (1, 2, 4, 8)
+    return Fig6Result(
+        model=model,
+        thread_counts=threads,
+        times=tuple(model.execution_time(p) for p in threads),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig6().format())

@@ -1,0 +1,77 @@
+"""Figures 9 and 10: SAT's adaptation to the input set.
+
+Figure 9 plots the best thread count for PageMine as the page size
+varies from 1 KB to 25 KB — it grows roughly as the square root of the
+page size, so no static choice works across inputs.  Figure 10 overlays
+the 2.5 KB and 10 KB sweeps with SAT's picks, showing SAT tracks both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+from repro.workloads.pagemine import build as build_pagemine
+
+#: The paper's page-size axis (bytes), 1 KB - 25 KB.
+PAGE_SIZES = (1024, 2560, 5280, 10240, 16384, 25600)
+
+
+@dataclass(frozen=True, slots=True)
+class PageSizePoint:
+    """One page size: the sweep's best count and SAT's pick."""
+
+    page_bytes: int
+    best_static_threads: int
+    sat_threads: int
+    sat_vs_best: float
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Result:
+    points: tuple[PageSizePoint, ...]
+    sweeps: tuple[SweepResult, ...]
+
+    @property
+    def best_counts(self) -> list[int]:
+        return [p.best_static_threads for p in self.points]
+
+    def format(self) -> str:
+        rows = [(f"{p.page_bytes / 1024:.1f} KB", p.best_static_threads,
+                 p.sat_threads, p.sat_vs_best) for p in self.points]
+        table = ascii_table(
+            ("page size", "best static T", "SAT T", "SAT/min time"), rows)
+        return ("Figures 9/10: PageMine best thread count vs page size\n"
+                f"{table}")
+
+
+def run_fig9(page_sizes: Sequence[int] = PAGE_SIZES, scale: float = 0.5,
+             thread_counts: Sequence[int] = COARSE_GRID,
+             config: MachineConfig | None = None) -> Fig9Result:
+    """Regenerate Figure 9 (and the Figure 10 overlay data)."""
+    points = []
+    sweeps = []
+    for page_bytes in page_sizes:
+        sweep = sweep_threads(
+            lambda: build_pagemine(scale=scale, page_bytes=page_bytes),
+            thread_counts, config)
+        res = run_application(build_pagemine(scale=scale, page_bytes=page_bytes),
+                              FdtPolicy(FdtMode.SAT), config)
+        points.append(PageSizePoint(
+            page_bytes=page_bytes,
+            best_static_threads=sweep.best_threads,
+            sat_threads=res.kernel_infos[0].threads,
+            sat_vs_best=res.cycles / sweep.min_cycles,
+        ))
+        sweeps.append(sweep)
+    return Fig9Result(points=tuple(points), sweeps=tuple(sweeps))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig9().format())

@@ -1,0 +1,46 @@
+"""Figure 11: the paper's worked bandwidth example.
+
+A data-parallel loop uses 25 % of the bus with one thread.  Eq. 4-6 give
+the figure's numbers: utilization 25/50/100/100 % and execution time
+1, 1/2, 1/4, 1/4 at P = 1, 2, 4, 8 — P=4 and P=8 take the same time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_table
+from repro.models.bat_model import BatModel
+
+
+@dataclass(frozen=True, slots=True)
+class Fig11Result:
+    model: BatModel
+    thread_counts: tuple[int, ...]
+    times: tuple[float, ...]
+    utilizations: tuple[float, ...]
+
+    def format(self) -> str:
+        rows = [(p, t, f"{u * 100:.0f}%") for p, t, u in
+                zip(self.thread_counts, self.times, self.utilizations)]
+        table = ascii_table(
+            ("threads", "normalized time", "bus utilization"), rows)
+        return (f"Figure 11: BU_1 = 25%, Eq. 4-6\n{table}\n"
+                f"saturation at P_BW = "
+                f"{self.model.saturation_threads():.0f} threads")
+
+
+def run_fig11(bu1: float = 0.25) -> Fig11Result:
+    """Evaluate the worked example (default is the paper's 25 %)."""
+    model = BatModel(t1=1.0, bu1=bu1)
+    threads = (1, 2, 4, 8)
+    return Fig11Result(
+        model=model,
+        thread_counts=threads,
+        times=tuple(model.execution_time(p) for p in threads),
+        utilizations=tuple(model.bus_utilization(p) for p in threads),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig11().format())

@@ -1,0 +1,97 @@
+"""Figure 12: BAT on the four bandwidth-limited workloads.
+
+For ED, convert, Transpose, and MTwister the paper overlays the static
+sweep with BAT's run: BAT stays within a few percent of the minimum
+execution time while cutting power by 78/47/75/31 % (ED/convert/
+Transpose/MTwister) versus 32 threads.  BAT's picks on the paper's
+machine: 7, 17, 8, and 32+12 (per kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+BW_WORKLOADS = ("ED", "convert", "Transpose", "MTwister")
+
+
+@dataclass(frozen=True, slots=True)
+class BatPanel:
+    """One sub-figure: a workload's sweep plus its BAT run."""
+
+    workload: str
+    sweep: SweepResult
+    bat_threads: tuple[int, ...]  # per kernel
+    bat_cycles: int
+    bat_power: float
+
+    @property
+    def bat_vs_best(self) -> float:
+        return self.bat_cycles / self.sweep.min_cycles
+
+    @property
+    def power_saving_vs_32(self) -> float:
+        """Fractional power reduction vs the 32-thread baseline run."""
+        baseline = self.sweep.points[-1]
+        if baseline.power <= 0:
+            return 0.0
+        return 1.0 - self.bat_power / baseline.power
+
+
+@dataclass(frozen=True, slots=True)
+class Fig12Result:
+    panels: tuple[BatPanel, ...]
+
+    def panel(self, workload: str) -> BatPanel:
+        for p in self.panels:
+            if p.workload == workload:
+                return p
+        raise KeyError(workload)
+
+    def format(self) -> str:
+        rows = [(p.workload, "/".join(map(str, p.bat_threads)),
+                 p.bat_vs_best, f"{p.power_saving_vs_32 * 100:.0f}%")
+                for p in self.panels]
+        table = ascii_table(
+            ("workload", "BAT T", "BAT/min time", "power saved vs 32T"), rows)
+        return f"Figure 12: BAT on bandwidth-limited workloads\n{table}"
+
+
+def run_fig12(scale: float = 0.25,
+              thread_counts: Sequence[int] = COARSE_GRID,
+              config: MachineConfig | None = None,
+              workloads: Sequence[str] = BW_WORKLOADS,
+              mtwister_scale: float = 1.0) -> Fig12Result:
+    """Regenerate Figure 12's four panels.
+
+    MTwister keeps its own scale because its second kernel is only
+    bandwidth-limited while the data set exceeds the L3 (see the
+    workload's docstring).
+    """
+    panels = []
+    for name in workloads:
+        spec = get(name)
+        wl_scale = mtwister_scale if name == "MTwister" else scale
+        sweep = sweep_threads(lambda: spec.build(wl_scale), thread_counts,
+                              config)
+        res = run_application(spec.build(wl_scale), FdtPolicy(FdtMode.BAT),
+                              config)
+        panels.append(BatPanel(
+            workload=name,
+            sweep=sweep,
+            bat_threads=res.threads_used,
+            bat_cycles=res.cycles,
+            bat_power=res.power,
+        ))
+    return Fig12Result(panels=tuple(panels))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig12().format())

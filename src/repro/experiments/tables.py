@@ -1,0 +1,72 @@
+"""Tables 1 and 2: the simulated machine and the workload roster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_table
+from repro.sim.config import MachineConfig
+from repro.workloads import WorkloadSpec, all_specs
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Result:
+    config: MachineConfig
+
+    def rows(self) -> list[tuple[str, str]]:
+        c = self.config
+        return [
+            ("System", f"{c.num_cores}-core CMP with shared L3 cache"),
+            ("Core", f"in-order, {c.issue_width}-wide, "
+                     f"{c.pipeline_depth}-stage pipeline, "
+                     f"{c.gshare_bytes // 1024}-KB gshare"),
+            ("L1", f"{c.l1_bytes // 1024} KB write-through private, "
+                   f"{c.l1_latency}-cycle"),
+            ("L2", f"{c.l2_bytes // 1024} KB, {c.l2_assoc}-way, inclusive "
+                   f"private, {c.l2_latency}-cycle"),
+            ("Interconnect", f"bi-directional ring, "
+                             f"{c.ring_hop_latency}-cycle hop"),
+            ("Coherence", "distributed directory-based MESI"),
+            ("L3", f"{c.l3_bytes // (1024 * 1024)} MB, {c.l3_assoc}-way, "
+                   f"{c.l3_banks} banks, {c.l3_latency}-cycle, "
+                   f"{c.line_bytes}-byte lines"),
+            ("Data bus", f"{c.cpu_bus_ratio}:1 cpu/bus ratio, "
+                         f"{c.bus_width_bytes * 8}-bit, split-transaction, "
+                         f"{c.bus_latency}-cycle latency, one line per "
+                         f"{c.bus_cycles_per_line} cycles at peak"),
+            ("Memory", f"{c.dram_banks} DRAM banks, "
+                       f"row hit/closed/conflict "
+                       f"{c.dram_row_hit_latency}/{c.dram_closed_row_latency}/"
+                       f"{c.dram_row_conflict_latency} cycles, "
+                       f"open-page row buffers"),
+        ]
+
+    def format(self) -> str:
+        return ("Table 1: configuration of the simulated machine\n"
+                + ascii_table(("component", "configuration"), self.rows()))
+
+
+@dataclass(frozen=True, slots=True)
+class Table2Result:
+    specs: tuple[WorkloadSpec, ...]
+
+    def format(self) -> str:
+        rows = [(s.category.value, s.name, s.description, s.paper_input,
+                 s.repro_input) for s in self.specs]
+        return ("Table 2: simulated workloads\n"
+                + ascii_table(("type", "workload", "description",
+                               "paper input", "repro input"), rows))
+
+
+def run_table1(config: MachineConfig | None = None) -> Table1Result:
+    return Table1Result(config=config or MachineConfig.asplos08_baseline())
+
+
+def run_table2() -> Table2Result:
+    return Table2Result(specs=tuple(all_specs()))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runner
+    print(run_table1().format())
+    print()
+    print(run_table2().format())

@@ -1,0 +1,53 @@
+"""Feedback-Driven Threading — the paper's primary contribution.
+
+FDT replaces "one thread per core" with a measure-then-decide flow
+(paper Figure 5):
+
+1. **Train** — run a small leading slice of the parallel kernel single-
+   threaded with instrumentation that reads the cycle counter around
+   critical sections (for SAT) and the bus-busy counter per iteration
+   (for BAT).  Training stops early when the measurement is stable
+   (SAT: T_CS/T_NoCS within 5 % for 3 consecutive iterations), when BAT
+   can rule out bus saturation (after 10 000 cycles, if
+   ``BU_avg * num_cores < 100 %``), and in any case after 1 % of the
+   loop's iterations.
+2. **Estimate** — plug the measurements into the analytical models:
+   ``P_CS = round(sqrt(T_NoCS / T_CS))`` and ``P_BW = ceil(1 / BU_1)``,
+   then ``P_FDT = min(P_CS, P_BW, num_cores)``.
+3. **Execute** — run the remaining iterations with the chosen team size
+   (the OpenMP ``num_threads`` clause analogue).
+
+Public entry points:
+
+* :class:`~repro.fdt.kernel.Kernel` and friends — how workloads describe
+  a parallelized loop to FDT.
+* :class:`~repro.fdt.policies.FdtPolicy` (modes SAT / BAT / COMBINED) and
+  the :class:`~repro.fdt.policies.StaticPolicy` baseline.
+* :func:`~repro.fdt.runner.run_application` — run a multi-kernel
+  application under a policy and collect time/power.
+"""
+
+from repro.fdt.kernel import DataParallelKernel, Kernel, TeamParallelKernel
+from repro.fdt.training import TrainingConfig, TrainingLog, TrainingSample
+from repro.fdt.estimators import Estimates, estimate
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
+from repro.fdt.runner import Application, AppRunResult, KernelRunInfo, run_application
+
+__all__ = [
+    "Kernel",
+    "DataParallelKernel",
+    "TeamParallelKernel",
+    "TrainingConfig",
+    "TrainingLog",
+    "TrainingSample",
+    "Estimates",
+    "estimate",
+    "FdtMode",
+    "FdtPolicy",
+    "StaticPolicy",
+    "ThreadingPolicy",
+    "Application",
+    "AppRunResult",
+    "KernelRunInfo",
+    "run_application",
+]

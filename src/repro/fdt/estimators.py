@@ -1,0 +1,86 @@
+"""The estimation stage: training measurements → thread-count decision.
+
+Implements Sections 4.2.2 (SAT), 5.2 (BAT), and 6.1 (combined, Eq. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fdt.training import TrainingLog
+from repro.models import bat_model, sat_model
+
+
+@dataclass(frozen=True, slots=True)
+class Estimates:
+    """Everything the estimation stage derives from a training log."""
+
+    #: Mean per-iteration critical-section cycles (T_CS).
+    t_cs: float
+    #: Mean per-iteration cycles outside critical sections (T_NoCS).
+    t_nocs: float
+    #: Single-thread bus utilization (BU_1) as a fraction.
+    bu1: float
+    #: Real-valued Eq. 3 optimum (inf when no critical section was seen).
+    p_cs_real: float
+    #: Real-valued Eq. 5 saturation point (inf when the bus was untouched).
+    p_bw_real: float
+    #: SAT's integer decision (rounded to nearest, clamped to cores).
+    p_cs: int
+    #: BAT's integer decision (rounded up, clamped to cores).
+    p_bw: int
+    #: Eq. 7: min(P_CS, P_BW, cores).
+    p_fdt: int
+
+    @property
+    def cs_fraction(self) -> float:
+        """Critical-section share of single-threaded time."""
+        total = self.t_cs + self.t_nocs
+        if total == 0:
+            return 0.0
+        return self.t_cs / total
+
+
+def estimate(log: TrainingLog, num_cores: int,
+             bandwidth_can_saturate: bool | None = None) -> Estimates:
+    """Run the estimation stage on a completed training log.
+
+    Args:
+        log: the training measurements.
+        num_cores: cores available on the chip (the clamp in Eq. 7).
+        bandwidth_can_saturate: override for BAT's cannot-saturate
+            early-out.  None (default) re-derives it from the log the
+            same way training did: if ``BU_1 * num_cores < 1`` the bus
+            can never saturate and BAT defers to the core count.
+
+    Returns:
+        All intermediate and final values, so reports can show not just
+        the decision but the measured T_CS/T_NoCS/BU_1 behind it.
+    """
+    t_cs = log.mean_cs_cycles()
+    t_nocs = log.mean_nocs_cycles()
+    bu1 = log.mean_bus_utilization()
+
+    p_cs_real = sat_model.optimal_threads_cs(t_nocs, t_cs)
+    p_cs = sat_model.predicted_thread_count(t_nocs, t_cs, num_cores)
+
+    if bandwidth_can_saturate is None:
+        bandwidth_can_saturate = bu1 * num_cores >= 1.0
+    if bandwidth_can_saturate and bu1 > 0.0:
+        p_bw_real = bat_model.saturation_threads(bu1)
+        p_bw = bat_model.predicted_thread_count(bu1, num_cores)
+    else:
+        p_bw_real = math.inf
+        p_bw = num_cores
+
+    return Estimates(
+        t_cs=t_cs,
+        t_nocs=t_nocs,
+        bu1=bu1,
+        p_cs_real=p_cs_real,
+        p_bw_real=p_bw_real,
+        p_cs=p_cs,
+        p_bw=p_bw,
+        p_fdt=max(1, min(p_cs, p_bw, num_cores)),
+    )

@@ -1,0 +1,222 @@
+"""Extensions the paper's Future Work section (§9) sketches.
+
+* :class:`CalibratedBatPolicy` — "Our model for bandwidth utilization
+  assumes that bandwidth requirement increases linearly with the number
+  of threads ... More comprehensive models that take these effects into
+  account can be developed."  This policy trains at *two* team sizes
+  (1 and a small probe team), fits the sub-linear utilization curve
+  ``BU(P) = BU_1 * P / (1 + beta * (P - 1))``, and solves it for
+  saturation instead of assuming linearity.
+* :class:`TwoPhaseSatPolicy` — addresses the other measured bias: a
+  critical section timed under *no contention* (single-threaded
+  training) understates its contended cost (lock handoff plus line
+  ping-pong).  The policy refines SAT's pick with one probe run at the
+  predicted count, re-measuring the effective CS time from lock-hold
+  statistics.
+
+Both are strictly run-time techniques in FDT's spirit: a little more
+training buys a better model, no offline profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TrainingError
+from repro.fdt.estimators import estimate
+from repro.fdt.kernel import Kernel
+from repro.fdt.policies import FdtMode, FdtPolicy, KernelRunInfo, ThreadingPolicy
+from repro.fdt.training import TrainingConfig, TrainingLog, instrumented_training_program
+from repro.models import bat_model, sat_model
+from repro.sim.machine import Machine
+from repro.sim.stats import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class SubLinearBandwidthModel:
+    """``BU(P) = bu1 * P / (1 + beta * (P - 1))`` — Eq. 4 with a
+    contention-damping term fitted from a second measurement.
+
+    ``beta = 0`` recovers the paper's linear model exactly.
+    """
+
+    bu1: float
+    beta: float
+
+    def utilization(self, threads: int) -> float:
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        u = self.bu1 * threads / (1.0 + self.beta * (threads - 1))
+        return min(1.0, u)
+
+    def saturation_threads(self) -> float:
+        """Smallest real P with ``BU(P) = 1`` (inf if unreachable)."""
+        if self.bu1 <= 0:
+            return math.inf
+        denominator = self.bu1 - self.beta
+        if denominator <= 0:
+            return math.inf  # utilization asymptotes below 100%
+        return (1.0 - self.beta) / denominator
+
+    def predicted_thread_count(self, num_cores: int) -> int:
+        p = self.saturation_threads()
+        if math.isinf(p):
+            return num_cores
+        return max(1, min(num_cores, math.ceil(p - 1e-9)))
+
+    @staticmethod
+    def fit(bu1: float, probe_threads: int,
+            probe_utilization: float) -> "SubLinearBandwidthModel":
+        """Fit beta from one extra measurement at ``probe_threads``.
+
+        Solving ``u_p = bu1 * P / (1 + beta (P - 1))`` for beta; a probe
+        at or above linearity clamps beta at 0 (never super-linear).
+        """
+        if probe_threads < 2:
+            raise TrainingError("probe team must have at least 2 threads")
+        if probe_utilization <= 0:
+            return SubLinearBandwidthModel(bu1=bu1, beta=0.0)
+        beta = (bu1 * probe_threads / probe_utilization - 1.0) / (
+            probe_threads - 1)
+        return SubLinearBandwidthModel(bu1=bu1, beta=max(0.0, beta))
+
+
+class CalibratedBatPolicy(ThreadingPolicy):
+    """BAT with a two-point, sub-linear bandwidth model (§9 extension).
+
+    Training phase 1 is the paper's single-threaded instrumented loop.
+    Training phase 2 runs a few more iterations on a small probe team
+    (default 4) measuring aggregate bus utilization; the two points fit
+    :class:`SubLinearBandwidthModel`, whose saturation point replaces
+    Eq. 5.
+    """
+
+    def __init__(self, probe_threads: int = 4,
+                 training: TrainingConfig | None = None) -> None:
+        if probe_threads < 2:
+            raise ValueError("probe team must have at least 2 threads")
+        self.probe_threads = probe_threads
+        self.training = training or TrainingConfig(need_sat=False,
+                                                   need_bat=True)
+        self.name = f"bat-calibrated-{probe_threads}"
+
+    def run_kernel(self, machine: Machine, kernel: Kernel) -> KernelRunInfo:
+        total = kernel.total_iterations
+        before = machine.snapshot()
+
+        # Phase 1: the paper's single-threaded training.
+        log = TrainingLog(config=self.training, total_iterations=total,
+                          num_cores=machine.config.num_cores)
+        train1 = machine.run_serial(
+            lambda tid, team: instrumented_training_program(
+                kernel, range(total), log))
+        consumed = log.trained_iterations
+        base = estimate(log, machine.config.num_cores)
+
+        # Phase 2: probe on a small team.  The probe must be long enough
+        # that spawn overhead and tail imbalance do not depress the
+        # measured utilization (several iterations per probe thread).
+        probe_threads = min(self.probe_threads, machine.config.num_cores)
+        probe_iters = min(max(1, total - consumed),
+                          max(consumed, probe_threads * 8))
+        probe_start = machine.snapshot()
+        train2 = machine.run_parallel(kernel.factories(
+            range(consumed, consumed + probe_iters), probe_threads))
+        probe: RunResult = machine.result_since(probe_start)
+        consumed += probe_iters
+
+        model = SubLinearBandwidthModel.fit(
+            bu1=base.bu1, probe_threads=probe_threads,
+            probe_utilization=probe.bus_utilization)
+        can_saturate = (model.utilization(machine.config.num_cores) >= 0.999
+                        or model.saturation_threads()
+                        <= machine.config.num_cores)
+        threads = (model.predicted_thread_count(machine.config.num_cores)
+                   if can_saturate else machine.config.num_cores)
+
+        exec_cycles = 0
+        remaining = range(consumed, total)
+        if len(remaining):
+            region = machine.run_parallel(kernel.factories(remaining, threads))
+            exec_cycles = region.cycles
+
+        return KernelRunInfo(
+            kernel_name=kernel.name,
+            policy_name=self.name,
+            threads=threads,
+            trained_iterations=consumed,
+            training_cycles=train1.cycles + train2.cycles,
+            execution_cycles=exec_cycles,
+            result=machine.result_since(before),
+            estimates=base,
+            stop_reason=log.stop_reason,
+        )
+
+
+class TwoPhaseSatPolicy(ThreadingPolicy):
+    """SAT refined by a contended probe (§9-adjacent extension).
+
+    Phase 1 is the paper's SAT.  Phase 2 runs a slice at the predicted
+    count and re-derives the *contended* per-entry critical-section time
+    from the lock manager's hold statistics (hold time includes line
+    ping-pong that single-threaded training cannot see), then re-solves
+    Eq. 3 with it.
+    """
+
+    def __init__(self, training: TrainingConfig | None = None) -> None:
+        self.training = training or TrainingConfig(need_sat=True,
+                                                   need_bat=False)
+        self.name = "sat-two-phase"
+
+    def run_kernel(self, machine: Machine, kernel: Kernel) -> KernelRunInfo:
+        total = kernel.total_iterations
+        before = machine.snapshot()
+        cores = machine.config.num_cores
+
+        log = TrainingLog(config=self.training, total_iterations=total,
+                          num_cores=cores)
+        train1 = machine.run_serial(
+            lambda tid, team: instrumented_training_program(
+                kernel, range(total), log))
+        consumed = log.trained_iterations
+        base = estimate(log, cores)
+        first_guess = base.p_cs
+
+        # Probe at the first guess, measuring contended CS time per
+        # acquisition from the lock manager.
+        probe_iters = min(consumed, max(1, total - consumed))
+        holds_before = machine.locks.stats.total_hold_cycles
+        acqs_before = machine.locks.stats.acquisitions
+        train2 = machine.run_parallel(kernel.factories(
+            range(consumed, consumed + probe_iters), first_guess))
+        consumed += probe_iters
+
+        acqs = machine.locks.stats.acquisitions - acqs_before
+        holds = machine.locks.stats.total_hold_cycles - holds_before
+        threads = first_guess
+        if acqs and base.t_cs > 0:
+            # Effective per-iteration CS time under contention; the
+            # serial training measured `cs_per_acq` locks per iteration.
+            acq_per_iter = acqs / (probe_iters * first_guess)
+            contended_t_cs = (holds / acqs) * max(1.0, acq_per_iter)
+            threads = sat_model.predicted_thread_count(
+                base.t_nocs, max(base.t_cs, contended_t_cs), cores)
+
+        exec_cycles = 0
+        remaining = range(consumed, total)
+        if len(remaining):
+            region = machine.run_parallel(kernel.factories(remaining, threads))
+            exec_cycles = region.cycles
+
+        return KernelRunInfo(
+            kernel_name=kernel.name,
+            policy_name=self.name,
+            threads=threads,
+            trained_iterations=consumed,
+            training_cycles=train1.cycles + train2.cycles,
+            execution_cycles=exec_cycles,
+            result=machine.result_since(before),
+            estimates=base,
+            stop_reason=log.stop_reason,
+        )

@@ -1,0 +1,170 @@
+"""Threading policies: how many threads to run a kernel with.
+
+* :class:`StaticPolicy` — the conventional scheme: a fixed thread count,
+  defaulting to one thread per core (the paper's 32-thread baseline).
+* :class:`FdtPolicy` — Feedback-Driven Threading with three modes:
+  SAT (Section 4), BAT (Section 5), or the combined scheme (Section 6).
+
+A policy consumes a :class:`~repro.fdt.kernel.Kernel` and drives a
+:class:`~repro.sim.machine.Machine` through the kernel's full execution,
+returning what it decided and what it cost.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.fdt.estimators import Estimates, estimate
+from repro.fdt.kernel import Kernel
+from repro.fdt.training import (
+    TrainingConfig,
+    TrainingLog,
+    instrumented_training_program,
+)
+from repro.sim.machine import Machine
+from repro.sim.stats import RunResult
+
+
+class FdtMode(enum.Enum):
+    """Which limiter(s) the FDT instance watches."""
+
+    SAT = "sat"
+    BAT = "bat"
+    COMBINED = "sat+bat"
+
+
+@dataclass(frozen=True, slots=True)
+class KernelRunInfo:
+    """Outcome of running one kernel under a policy."""
+
+    kernel_name: str
+    policy_name: str
+    #: Thread count used for the execution phase.
+    threads: int
+    #: Iterations consumed by training (0 for static policies).
+    trained_iterations: int
+    #: Cycles spent in the single-threaded training phase.
+    training_cycles: int
+    #: Cycles spent in the execution phase (including spawn/join).
+    execution_cycles: int
+    #: Full machine-counter delta over training + execution.
+    result: RunResult
+    #: Estimation-stage outputs (None for static policies).
+    estimates: Estimates | None = None
+    #: Why training stopped ("" for static policies).
+    stop_reason: str = ""
+
+    @property
+    def total_cycles(self) -> int:
+        return self.training_cycles + self.execution_cycles
+
+
+class ThreadingPolicy(abc.ABC):
+    """Strategy for choosing and applying a kernel's thread count."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def run_kernel(self, machine: Machine, kernel: Kernel) -> KernelRunInfo:
+        """Execute ``kernel`` to completion on ``machine``."""
+
+
+class StaticPolicy(ThreadingPolicy):
+    """Conventional threading: a fixed team size for every kernel.
+
+    Args:
+        threads: team size; None means one thread per core, the default
+            of the systems the paper cites (Sun/Aachen/Hitachi OpenMP).
+    """
+
+    def __init__(self, threads: int | None = None) -> None:
+        if threads is not None and threads < 1:
+            raise ConfigError("static thread count must be >= 1")
+        self.threads = threads
+        self.name = f"static-{threads if threads else 'ncores'}"
+
+    def run_kernel(self, machine: Machine, kernel: Kernel) -> KernelRunInfo:
+        threads = self.threads or machine.config.num_cores
+        threads = min(threads, machine.config.num_thread_slots)
+        before = machine.snapshot()
+        region = machine.run_parallel(
+            kernel.factories(range(kernel.total_iterations), threads))
+        return KernelRunInfo(
+            kernel_name=kernel.name,
+            policy_name=self.name,
+            threads=threads,
+            trained_iterations=0,
+            training_cycles=0,
+            execution_cycles=region.cycles,
+            result=machine.result_since(before),
+        )
+
+
+class FdtPolicy(ThreadingPolicy):
+    """Feedback-Driven Threading (paper Figure 5, Sections 4.2/5.2/6.1)."""
+
+    def __init__(self, mode: FdtMode = FdtMode.COMBINED,
+                 training: TrainingConfig | None = None) -> None:
+        self.mode = mode
+        base = training or TrainingConfig()
+        # Per-mode termination needs (Sections 4.2.1 / 5.2 / 6.1): the
+        # combined scheme trains until *both* measurements settle.
+        self.training = replace(
+            base,
+            need_sat=mode in (FdtMode.SAT, FdtMode.COMBINED),
+            need_bat=mode in (FdtMode.BAT, FdtMode.COMBINED),
+        )
+        self.name = f"fdt-{mode.value}"
+
+    def decide(self, estimates: Estimates) -> int:
+        """The mode's thread-count decision from the estimation stage."""
+        if self.mode is FdtMode.SAT:
+            return estimates.p_cs
+        if self.mode is FdtMode.BAT:
+            return estimates.p_bw
+        return estimates.p_fdt
+
+    def run_kernel(self, machine: Machine, kernel: Kernel) -> KernelRunInfo:
+        total = kernel.total_iterations
+        before = machine.snapshot()
+
+        # -- training: single-threaded, instrumented, peeled iterations --
+        # FDT's clamp is the number of hardware thread slots — the
+        # paper's "num available cores", generalized for the Section 9
+        # SMT extension where a core hosts several contexts.
+        slots = machine.config.num_thread_slots
+        log = TrainingLog(
+            config=self.training,
+            total_iterations=total,
+            num_cores=slots,
+        )
+        train_region = machine.run_serial(
+            lambda tid, team: instrumented_training_program(
+                kernel, range(total), log))
+
+        # -- estimation ---------------------------------------------------
+        estimates = estimate(log, slots)
+        threads = self.decide(estimates)
+
+        # -- execution: remaining iterations on the chosen team ------------
+        remaining = range(log.trained_iterations, total)
+        exec_cycles = 0
+        if len(remaining):
+            region = machine.run_parallel(
+                kernel.factories(remaining, threads))
+            exec_cycles = region.cycles
+
+        return KernelRunInfo(
+            kernel_name=kernel.name,
+            policy_name=self.name,
+            threads=threads,
+            trained_iterations=log.trained_iterations,
+            training_cycles=train_region.cycles,
+            execution_cycles=exec_cycles,
+            result=machine.result_since(before),
+            estimates=estimates,
+            stop_reason=log.stop_reason,
+        )

@@ -1,0 +1,76 @@
+"""Amdahl's-law helpers, and how Eq. 1 relates to them.
+
+Amdahl's law bounds speedup with a *serial fraction* ``s`` that does not
+grow with the thread count::
+
+    speedup(P) = 1 / (s + (1 - s) / P)
+
+The paper's Eq. 1 is strictly harsher: a critical section is serial work
+*per thread*, so its total grows linearly with P and the execution time
+eventually turns upward instead of flattening.  :func:`crossover_threads`
+quantifies where the two models part ways — a useful sanity check when
+deciding whether a measured sweep is merely Amdahl-limited (scalable
+with a serial stub) or genuinely CS-limited (FDT's target).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.models.sat_model import SatModel
+
+
+def amdahl_speedup(serial_fraction: float, threads: int) -> float:
+    """Classic Amdahl speedup for ``threads`` processors."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if threads < 1:
+        raise ValueError("thread count must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / threads)
+
+
+def amdahl_limit(serial_fraction: float) -> float:
+    """The asymptotic speedup bound (1/s; inf for a fully parallel job)."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if serial_fraction == 0.0:
+        return math.inf
+    return 1.0 / serial_fraction
+
+
+@dataclass(frozen=True, slots=True)
+class AmdahlModel:
+    """Execution time under Amdahl's law (serial stub + parallel part)."""
+
+    serial: float
+    parallel: float
+
+    def execution_time(self, threads: int) -> float:
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        return self.serial + self.parallel / threads
+
+    def speedup(self, threads: int) -> float:
+        return self.execution_time(1) / self.execution_time(threads)
+
+
+def crossover_threads(model: SatModel) -> float:
+    """Threads at which Eq. 1 departs Amdahl's law by more than 2x.
+
+    Both models agree at P=1 (total time ``T_NoCS + T_CS``).  Amdahl
+    treats the CS as a fixed serial stub; Eq. 1 grows it linearly.  The
+    returned P is where Eq. 1's time exceeds Amdahl's prediction by a
+    factor of two — below it the distinction barely matters, beyond it
+    treating a critical section as "just a serial fraction" badly
+    mispredicts the sweep.
+    """
+    if model.t_cs == 0:
+        return math.inf
+    amdahl = AmdahlModel(serial=model.t_cs, parallel=model.t_nocs)
+    p = 1
+    while p < 1_000_000:
+        if model.execution_time(p) > 2.0 * amdahl.execution_time(p):
+            return float(p)
+        p += 1
+    return math.inf

@@ -1,0 +1,75 @@
+"""Gshare branch predictor (4-KB table, Table 1).
+
+The predictor XORs a global history register with the branch PC to index a
+table of 2-bit saturating counters.  The simulated core charges a
+pipeline-depth flush penalty on every misprediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class BranchStats:
+    """Prediction outcome counts for one predictor instance."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of branches predicted correctly (1.0 when none seen)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class GsharePredictor:
+    """Gshare: global-history XOR PC indexing into 2-bit counters.
+
+    Args:
+        entries: number of 2-bit counters; must be a power of two.
+        history_bits: length of the global history register; defaults to
+            log2(entries) so history fully covers the index.
+    """
+
+    __slots__ = ("_table", "_mask", "_history", "_history_mask", "stats")
+
+    def __init__(self, entries: int = 16384, history_bits: int | None = None) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self._table = bytearray([2] * entries)  # init weakly taken
+        self._mask = entries - 1
+        if history_bits is None:
+            history_bits = entries.bit_length() - 1
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (no state change)."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict, train on the actual outcome, and report correctness.
+
+        Returns:
+            True if the prediction matched ``taken``.
+        """
+        idx = self._index(pc)
+        counter = self._table[idx]
+        prediction = counter >= 2
+        if taken and counter < 3:
+            self._table[idx] = counter + 1
+        elif not taken and counter > 0:
+            self._table[idx] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.stats.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct

@@ -1,0 +1,125 @@
+"""Split-transaction, pipelined off-chip bus (Table 1).
+
+The bus is the central contended resource of the paper's bandwidth study.
+We model the split transaction as:
+
+* a fixed ``bus_latency`` (40 cycles) covering arbitration and the address
+  phase — pipelined, so it does not occupy the data bus;
+* a data phase that *reserves* the data bus for
+  :attr:`MachineConfig.bus_cycles_per_line` cycles (32 at baseline — "one
+  cache line every 32 cycles at peak bandwidth").
+
+Every data-phase cycle increments the busy-cycle counter, which is exactly
+the ``BUS_DRDY_CLOCKS``-style counter BAT's training loop reads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.sim.config import MachineConfig
+
+
+class ReservationTimeline:
+    """First-fit reservation of a unit-capacity resource over time.
+
+    The memory system resolves each access synchronously at issue time, so
+    reservations arrive in *issue* order while their ready times can be
+    reordered by upstream queueing (a request that waited in a busy DRAM
+    bank is ready later than one issued after it that hit an idle bank).
+    A monotone next-free clock would charge phantom stalls in that case;
+    this timeline instead keeps the set of busy intervals and places each
+    transfer in the earliest gap at or after its ready time.
+    """
+
+    __slots__ = ("_starts", "_ends", "_horizon")
+
+    def __init__(self, horizon: int = 1_000_000) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        self._horizon = horizon
+
+    def reserve(self, ready: int, duration: int) -> int:
+        """Book ``duration`` cycles at the earliest start >= ``ready``."""
+        starts, ends = self._starts, self._ends
+        # Drop intervals that ended long before any future request can
+        # begin (ready times are bounded below by the advancing clock).
+        cutoff = ready - self._horizon
+        drop = bisect.bisect_right(ends, cutoff)
+        if drop:
+            del starts[:drop]
+            del ends[:drop]
+
+        start = ready
+        idx = bisect.bisect_right(ends, start)
+        while idx < len(starts):
+            if start + duration <= starts[idx]:
+                break  # fits in the gap before interval idx
+            start = ends[idx]
+            idx += 1
+        starts.insert(idx, start)
+        ends.insert(idx, start + duration)
+        return start
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+
+@dataclass(slots=True)
+class BusStats:
+    """Traffic and occupancy counters for the off-chip bus."""
+
+    transfers: int = 0
+    busy_cycles: int = 0
+    total_wait_cycles: int = 0
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Fraction of ``elapsed_cycles`` the data bus was occupied."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+
+class OffChipBus:
+    """Reservation-based data bus shared by all L3 banks."""
+
+    __slots__ = ("latency", "cycles_per_line", "_timeline", "_last_end", "stats")
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.latency = config.bus_latency
+        self.cycles_per_line = config.bus_cycles_per_line
+        self._timeline = ReservationTimeline()
+        self._last_end = 0
+        self.stats = BusStats()
+
+    def request_phase(self, now: int) -> int:
+        """Cycle at which the address/command phase reaches memory.
+
+        The address bus is pipelined and never the bottleneck, so this is
+        a pure latency.
+        """
+        return now + self.latency
+
+    def data_phase(self, ready: int) -> int:
+        """Transfer one cache line whose data is ready at cycle ``ready``.
+
+        Reserves the data bus; returns the cycle the transfer completes.
+        """
+        start = self._timeline.reserve(ready, self.cycles_per_line)
+        self.stats.total_wait_cycles += start - ready
+        done = start + self.cycles_per_line
+        self._last_end = max(self._last_end, done)
+        self.stats.busy_cycles += self.cycles_per_line
+        self.stats.transfers += 1
+        return done
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cumulative data-bus-occupied cycles (the BAT counter)."""
+        return self.stats.busy_cycles
+
+    @property
+    def free_at(self) -> int:
+        """Cycle at which the last-booked transfer completes."""
+        return self._last_end

@@ -1,0 +1,230 @@
+"""In-order, 2-wide core model (Table 1), with optional SMT contexts.
+
+Each core hosts one or more hardware thread contexts (Table 1's machine
+has one; ``MachineConfig.smt_threads`` adds the paper's Section 9
+extension).  A context executes one simulated thread by pulling ops from
+the thread's generator; the core is a small state machine driven by the
+event queue:
+
+* ``Compute(n)`` occupies the context ``ceil(n / issue_width)`` cycles,
+  scaled by the number of non-idle contexts sharing the core's issue
+  bandwidth (fine-grained SMT arbitration; a spinning context burns
+  issue slots too, as spin loops do).
+* ``Load``/``Store`` block the context until the memory system's
+  completion cycle (each context has its own outstanding miss).
+* ``Branch`` runs through the core's gshare predictor; a misprediction
+  adds the pipeline-flush penalty.
+* ``Lock``/``Unlock``/``BarrierWait`` are serviced by the runtime
+  managers, keyed by the *agent* (thread slot).  A waiting context
+  spins: it stays active for power accounting, matching the paper's
+  active-cores power metric.
+* ``ReadCounter`` samples a performance counter and sends the value back
+  into the generator (``value = yield ReadCounter(...)``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.errors import ProgramError, SimulationError
+from repro.isa.ops import (
+    BarrierWait,
+    Branch,
+    Compute,
+    Load,
+    Lock,
+    ReadCounter,
+    Store,
+    Unlock,
+)
+from repro.isa.program import ThreadProgram
+from repro.sim.branch import GsharePredictor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+
+class CoreState(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    SPINNING = "spinning"  # waiting on a lock or barrier (active for power)
+
+
+class _Context:
+    """One hardware thread context of a core."""
+
+    __slots__ = ("index", "state", "program", "agent_id", "started_at",
+                 "spin_since", "send_value", "spin_cycles")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.state = CoreState.IDLE
+        self.program: ThreadProgram | None = None
+        self.agent_id: int | None = None
+        self.started_at = 0
+        self.spin_since = 0
+        self.send_value: int | None = None
+        self.spin_cycles = 0
+
+
+class Core:
+    """One processor core of the CMP (possibly multi-context)."""
+
+    __slots__ = ("core_id", "machine", "predictor", "contexts",
+                 "retired_instructions")
+
+    def __init__(self, core_id: int, machine: "Machine") -> None:
+        self.core_id = core_id
+        self.machine = machine
+        self.predictor = GsharePredictor(machine.config.gshare_entries)
+        self.contexts = [_Context(i)
+                         for i in range(machine.config.smt_threads)]
+        self.retired_instructions = 0
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def is_idle(self) -> bool:
+        return all(ctx.state is CoreState.IDLE for ctx in self.contexts)
+
+    @property
+    def spin_cycles(self) -> int:
+        return sum(ctx.spin_cycles for ctx in self.contexts)
+
+    def _active_contexts(self) -> int:
+        return sum(1 for ctx in self.contexts
+                   if ctx.state is not CoreState.IDLE)
+
+    # -- thread lifecycle -----------------------------------------------------
+
+    def start_thread(self, program: ThreadProgram, agent_id: int,
+                     at: int, context_index: int = 0) -> None:
+        """Begin executing ``program`` on a context at cycle ``at``."""
+        ctx = self.contexts[context_index]
+        if ctx.state is not CoreState.IDLE:
+            raise SimulationError(
+                f"core {self.core_id} context {context_index} is busy")
+        ctx.program = program
+        ctx.agent_id = agent_id
+        ctx.state = CoreState.RUNNING
+        ctx.started_at = at
+        self.machine.events.schedule(at, lambda: self._step(ctx))
+
+    def _finish_thread(self, ctx: _Context) -> None:
+        agent_id = ctx.agent_id
+        ctx.program = None
+        ctx.agent_id = None
+        ctx.state = CoreState.IDLE
+        if agent_id is None:  # pragma: no cover - defensive
+            raise SimulationError("finished a thread that never started")
+        self.machine.on_thread_finished(self.core_id, agent_id)
+
+    # -- execution loop ---------------------------------------------------------
+
+    def _next_op(self, ctx: _Context):
+        assert ctx.program is not None
+        try:
+            if ctx.send_value is not None:
+                value, ctx.send_value = ctx.send_value, None
+                return ctx.program.send(value)  # type: ignore[union-attr]
+            return next(ctx.program)
+        except StopIteration:
+            return None
+
+    def _step(self, ctx: _Context) -> None:
+        """Pull and dispatch the context's next op (event callback)."""
+        machine = self.machine
+        events = machine.events
+        now = events.now
+        op = self._next_op(ctx)
+        if op is None:
+            self._finish_thread(ctx)
+            return
+
+        if type(op) is Compute:
+            n = op.instructions
+            share = max(1, self._active_contexts())
+            cycles = (-(-n // machine.config.issue_width)) * share if n else 0
+            self.retired_instructions += n
+            machine.counters.on_retire(self.core_id, n)
+            if cycles:
+                events.schedule(now + cycles, lambda: self._step(ctx))
+            else:
+                self._step(ctx)
+            return
+
+        if type(op) is Load or type(op) is Store:
+            done = machine.memsys.access(
+                self.core_id, op.addr, type(op) is Store, now)
+            self.retired_instructions += 1
+            machine.counters.on_retire(self.core_id, 1)
+            events.schedule(done, lambda: self._step(ctx))
+            return
+
+        if type(op) is Branch:
+            correct = self.predictor.update(op.pc, op.taken)
+            penalty = (0 if correct
+                       else machine.config.branch_misprediction_penalty)
+            self.retired_instructions += 1
+            machine.counters.on_retire(self.core_id, 1)
+            events.schedule(now + 1 + penalty, lambda: self._step(ctx))
+            return
+
+        if type(op) is Lock:
+            assert ctx.agent_id is not None
+            grant = machine.locks.acquire(op.lock_id, ctx.agent_id, now)
+            if grant is None:
+                self._begin_spin(ctx, now)
+            else:
+                events.schedule(grant, lambda: self._step(ctx))
+            return
+
+        if type(op) is Unlock:
+            assert ctx.agent_id is not None
+            handoff = machine.locks.release(op.lock_id, ctx.agent_id, now)
+            if handoff is not None:
+                next_agent, grant = handoff
+                machine.wake_agent(next_agent, grant)
+            events.schedule(now + 1, lambda: self._step(ctx))
+            return
+
+        if type(op) is BarrierWait:
+            assert ctx.agent_id is not None
+            team = machine.team_size_of(ctx.agent_id)
+            releases = machine.barriers.arrive(
+                op.barrier_id, ctx.agent_id, team, now)
+            if releases is None:
+                self._begin_spin(ctx, now)
+                return
+            for agent_id, when in releases:
+                if agent_id == ctx.agent_id:
+                    events.schedule(when, lambda: self._step(ctx))
+                else:
+                    machine.wake_agent(agent_id, when)
+            return
+
+        if type(op) is ReadCounter:
+            ctx.send_value = machine.counters.read(op.kind, self.core_id)
+            # Reading a counter is a cheap serializing instruction.
+            events.schedule(now + 1, lambda: self._step(ctx))
+            return
+
+        raise ProgramError(f"core {self.core_id}: unknown op {op!r}")
+
+    # -- spin/wake ------------------------------------------------------------
+
+    def _begin_spin(self, ctx: _Context, now: int) -> None:
+        ctx.state = CoreState.SPINNING
+        ctx.spin_since = now
+
+    def granted(self, context_index: int, when: int) -> None:
+        """A lock grant or barrier release wakes a spinning context."""
+        ctx = self.contexts[context_index]
+        if ctx.state is not CoreState.SPINNING:
+            raise SimulationError(
+                f"core {self.core_id} ctx {context_index} woken while "
+                f"{ctx.state.value}")
+        ctx.state = CoreState.RUNNING
+        ctx.spin_cycles += max(0, when - ctx.spin_since)
+        self.machine.events.schedule(when, lambda: self._step(ctx))

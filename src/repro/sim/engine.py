@@ -1,0 +1,73 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event queue: events are ``(time, seq, callback)``
+triples ordered by time with a monotone sequence number breaking ties, so
+two runs of the same program produce bit-identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class EventQueue:
+    """Deterministic priority queue of timed callbacks."""
+
+    __slots__ = ("_heap", "_seq", "now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Callback]] = []
+        self._seq = 0
+        #: Current simulation time in cpu cycles.
+        self.now = 0
+
+    def schedule(self, when: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run at absolute cycle ``when``.
+
+        Raises:
+            SimulationError: if ``when`` is in the past.
+        """
+        if when < self.now:
+            raise SimulationError(f"cannot schedule event at {when}, now is {self.now}")
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: int, callback: Callback) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        self.schedule(self.now + delay, callback)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self, until: int | None = None) -> None:
+        """Drain the queue, advancing :attr:`now` event by event.
+
+        Args:
+            until: optional cycle bound; events scheduled after it stay
+                queued and :attr:`now` is clamped to ``until``.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, callback = heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(heap)
+            self.now = when
+            callback()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step(self) -> bool:
+        """Run the single earliest event.  Returns False if queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback = heapq.heappop(self._heap)
+        self.now = when
+        callback()
+        return True

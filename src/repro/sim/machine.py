@@ -1,0 +1,206 @@
+"""The assembled CMP: cores, caches, ring, L3, bus, DRAM, runtime managers.
+
+:class:`Machine` is the top-level simulator object.  Its central primitive
+is :meth:`run_parallel`, which executes one parallel region — a team of
+thread programs pinned to hardware thread slots — to completion and
+advances simulated time.  Applications are sequences of serial and
+parallel regions; caches, DRAM row buffers, predictors, and the clock
+persist across regions, so a kernel's second invocation sees a warm
+machine just like on real hardware.
+
+Thread placement: slot ``s`` runs on core ``s % num_cores``, SMT context
+``s // num_cores`` — teams no larger than the core count get one thread
+per core (the paper's configuration); larger teams (Section 9's SMT
+extension) double up contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.isa.program import ProgramFactory
+from repro.runtime.barriers import BarrierManager
+from repro.runtime.locks import LockManager
+from repro.sim.config import MachineConfig
+from repro.sim.core import Core
+from repro.sim.counters import CounterFile
+from repro.sim.engine import EventQueue
+from repro.sim.memsys import MemorySystem
+from repro.sim.ring import Ring
+from repro.sim.stats import RunResult, Snapshot
+
+
+@dataclass(frozen=True, slots=True)
+class RegionResult:
+    """Timing of one parallel region."""
+
+    start_cycle: int
+    end_cycle: int
+    num_threads: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+def _place_nodes(num_cores: int, num_banks: int) -> tuple[list[int], list[int]]:
+    """Interleave L3 bank stations evenly among core stations on the ring."""
+    total = num_cores + num_banks
+    bank_slots = {((i + 1) * total) // num_banks - 1 for i in range(num_banks)}
+    core_nodes: list[int] = []
+    bank_nodes: list[int] = []
+    for slot in range(total):
+        if slot in bank_slots:
+            bank_nodes.append(slot)
+        else:
+            core_nodes.append(slot)
+    return core_nodes, bank_nodes
+
+
+class Machine:
+    """A simulated CMP built from a :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig.asplos08_baseline()
+        self.events = EventQueue()
+        core_nodes, bank_nodes = _place_nodes(self.config.num_cores,
+                                              self.config.l3_banks)
+        self.ring = Ring(self.config.num_cores + self.config.l3_banks,
+                         self.config.ring_hop_latency,
+                         self.config.ring_link_occupancy)
+        self.memsys = MemorySystem(self.config, self.ring, core_nodes, bank_nodes)
+        self.counters = CounterFile(self.events, self.memsys)
+        # Locks and barriers are keyed by *agent* (thread slot); an
+        # agent's ring node is its hosting core's node.
+        agent_nodes = [core_nodes[s % self.config.num_cores]
+                       for s in range(self.config.num_thread_slots)]
+        self.locks = LockManager(self.config, self.ring, agent_nodes)
+        self.barriers = BarrierManager(self.config, self.ring, agent_nodes)
+        self.cores = [Core(i, self) for i in range(self.config.num_cores)]
+        self._team_size = 0
+        self._threads_running = 0
+        self._active_core_cycles = 0
+        self._core_first_start: dict[int, int] = {}
+
+    # -- placement ------------------------------------------------------------
+
+    def core_of_agent(self, agent_id: int) -> int:
+        if self.config.smt_placement == "compact":
+            return agent_id // self.config.smt_threads
+        return agent_id % self.config.num_cores
+
+    def context_of_agent(self, agent_id: int) -> int:
+        if self.config.smt_placement == "compact":
+            return agent_id % self.config.smt_threads
+        return agent_id // self.config.num_cores
+
+    def wake_agent(self, agent_id: int, when: int) -> None:
+        """Route a lock grant / barrier release to the agent's context."""
+        core = self.cores[self.core_of_agent(agent_id)]
+        core.granted(self.context_of_agent(agent_id), when)
+
+    # -- team bookkeeping (used by Core) -------------------------------------
+
+    def team_size_of(self, agent_id: int | None) -> int:
+        if self._team_size <= 0:
+            raise SimulationError("no parallel region is active")
+        return self._team_size
+
+    def on_thread_finished(self, core_id: int, agent_id: int) -> None:
+        self._threads_running -= 1
+
+    # -- execution -----------------------------------------------------------
+
+    def run_parallel(self, factories: list[ProgramFactory],
+                     spawn_overhead: bool = True) -> RegionResult:
+        """Run one parallel region: ``factories[i]`` becomes thread ``i``.
+
+        Thread ``i`` is pinned to slot ``i`` (core ``i % num_cores``).
+        Thread 0 is the master and starts immediately; workers start
+        after the spawn overhead.  The region ends when every thread's
+        program is exhausted; the join overhead is charged to the master.
+
+        Power accounting follows the paper's Section 3.1 metric: a core
+        is active from its first thread's start to the region's end
+        (threads that finish early spin at the region's implicit
+        barrier), and idle cores burn nothing.
+
+        Raises:
+            ConfigError: more threads than hardware thread slots.
+            DeadlockError: the event queue drained with threads blocked.
+        """
+        num_threads = len(factories)
+        if num_threads < 1:
+            raise ConfigError("a parallel region needs at least one thread")
+        if num_threads > self.config.num_thread_slots:
+            raise ConfigError(
+                f"{num_threads} threads exceed "
+                f"{self.config.num_thread_slots} hardware thread slots")
+        if self._threads_running:
+            raise SimulationError("a parallel region is already running")
+
+        start = self.events.now
+        self._team_size = num_threads
+        self._threads_running = num_threads
+        self._core_first_start.clear()
+        spawn = self.config.thread_spawn_cycles if spawn_overhead else 0
+        for i, factory in enumerate(factories):
+            begin = start if i == 0 else start + spawn
+            core_id = self.core_of_agent(i)
+            self.cores[core_id].start_thread(
+                factory(i, num_threads), i, begin,
+                context_index=self.context_of_agent(i))
+            first = self._core_first_start.get(core_id)
+            if first is None or begin < first:
+                self._core_first_start[core_id] = begin
+
+        self.events.run()
+        if self._threads_running:
+            blocked = [c.core_id for c in self.cores if not c.is_idle]
+            raise DeadlockError(
+                f"event queue drained with threads blocked on cores {blocked}; "
+                f"locks held: {self.locks.any_held()}, "
+                f"barrier waiters: {self.barriers.any_waiting()}")
+        self._team_size = 0
+
+        end = self.events.now
+        if spawn_overhead and num_threads > 1:
+            end += self.config.thread_join_cycles
+            self.events.now = end  # master burns the join overhead
+        # Each participating core is active for the whole region (early
+        # finishers spin at the implicit join barrier).
+        for _core_id, first_start in self._core_first_start.items():
+            self._active_core_cycles += end - first_start
+        self._core_first_start.clear()
+        return RegionResult(start_cycle=start, end_cycle=end,
+                            num_threads=num_threads)
+
+    def run_serial(self, factory: ProgramFactory) -> RegionResult:
+        """Run a single-threaded region on core 0 with no spawn overhead."""
+        return self.run_parallel([factory], spawn_overhead=False)
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.events.now
+
+    def snapshot(self) -> Snapshot:
+        """Capture all counters (cheap; take between regions)."""
+        bus = self.memsys.bus.stats
+        return Snapshot(
+            cycles=self.events.now,
+            busy_core_cycles=self._active_core_cycles,
+            spin_core_cycles=sum(c.spin_cycles for c in self.cores),
+            bus_busy_cycles=bus.busy_cycles,
+            bus_transfers=bus.transfers,
+            l3_misses=self.memsys.l3.misses,
+            l3_accesses=self.memsys.l3.accesses,
+            retired_instructions=sum(c.retired_instructions for c in self.cores),
+            lock_acquisitions=self.locks.stats.acquisitions,
+        )
+
+    def result_since(self, start: Snapshot) -> RunResult:
+        """Run metrics from ``start`` to now."""
+        return RunResult.between(start, self.snapshot())

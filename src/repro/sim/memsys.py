@@ -1,0 +1,287 @@
+"""The full memory hierarchy: L1 → L2 → ring → L3/directory → bus → DRAM.
+
+:class:`MemorySystem` resolves one core memory access into a completion
+time using resource-reservation timing.  All coherence state transitions
+happen synchronously at resolution time in global event order, which keeps
+the protocol race-free and the simulation deterministic.
+
+The hierarchy per Table 1:
+
+* L1: 8 KB write-through private data cache, 1-cycle.  Write-through means
+  stores never dirty L1; a store retires from the write buffer as soon as
+  the core's L2 copy is writable (M/E), so store *hits* cost the L1 latency
+  only, while stores needing coherence actions block the in-order core.
+* L2: 64 KB 4-way inclusive private cache, MESI states, write-back.
+* L3: 8 MB, 8 banks, 20-cycle, shared, inclusive of the private L2s
+  (evictions recall private copies).
+* Off-chip: split-transaction bus (the bandwidth bottleneck) feeding 32
+  DRAM banks with open-page row buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.bus import OffChipBus
+from repro.sim.cache import SetAssocCache
+from repro.sim.coherence import Directory, MesiState
+from repro.sim.config import MachineConfig
+from repro.sim.dram import Dram
+from repro.sim.l3 import SharedL3
+from repro.sim.ring import Ring
+
+_M = MesiState.MODIFIED
+_E = MesiState.EXCLUSIVE
+_S = MesiState.SHARED
+
+
+@dataclass(slots=True)
+class MemSysStats:
+    """Chip-wide access counters kept by the memory system itself."""
+
+    loads: int = 0
+    stores: int = 0
+    l2_writebacks: int = 0
+    l3_writebacks_to_dram: int = 0
+    recalls: int = 0
+
+
+class MemorySystem:
+    """Per-core private caches plus all shared structures."""
+
+    def __init__(self, config: MachineConfig, ring: Ring,
+                 core_nodes: list[int], bank_nodes: list[int]) -> None:
+        self.config = config
+        self.ring = ring
+        self.core_nodes = core_nodes
+        self.bank_nodes = bank_nodes
+        self.l1s = [
+            SetAssocCache(config.l1_bytes, config.l1_assoc, config.line_bytes,
+                          name=f"l1.{c}")
+            for c in range(config.num_cores)
+        ]
+        self.l2s = [
+            SetAssocCache(config.l2_bytes, config.l2_assoc, config.line_bytes,
+                          name=f"l2.{c}")
+            for c in range(config.num_cores)
+        ]
+        self.l3 = SharedL3(config)
+        self.directory = Directory()
+        self.bus = OffChipBus(config)
+        self.dram = Dram(config)
+        self.stats = MemSysStats()
+        self._offset_bits = config.line_bytes.bit_length() - 1
+
+    # -- public API --------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def access(self, core: int, addr: int, is_write: bool, now: int) -> int:
+        """Perform one access; return the cycle the core may proceed."""
+        line = addr >> self._offset_bits
+        if is_write:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        cfg = self.config
+        l1 = self.l1s[core]
+        l2 = self.l2s[core]
+        t = now + cfg.l1_latency
+
+        l1_hit = l1.lookup(line) is not None
+        if l1_hit and not is_write:
+            return t
+
+        if l1_hit and is_write:
+            # Write-through: store needs a writable (M/E) L2 copy.
+            state = l2.peek(line)
+            if state is _M:
+                return t
+            if state is _E:
+                l2.update(line, _M)
+                self.directory.mark_dirty(line, core)
+                return t
+            if state is _S:
+                return self._upgrade(core, line, t)
+            # L1 hit without an L2 copy violates inclusion; treat as L2 miss.
+            l1.invalidate(line)
+            return self._miss(core, line, is_write, t)
+
+        # L1 miss: look in L2.
+        t += cfg.l2_latency
+        state = l2.lookup(line)
+        if state is not None:
+            if not is_write:
+                self._l1_fill(core, line)
+                return t
+            if state is _M:
+                self._l1_fill(core, line)
+                return t
+            if state is _E:
+                l2.update(line, _M)
+                self.directory.mark_dirty(line, core)
+                self._l1_fill(core, line)
+                return t
+            # state is S: upgrade.
+            done = self._upgrade(core, line, t)
+            self._l1_fill(core, line)
+            return done
+
+        return self._miss(core, line, is_write, t)
+
+    # -- internals -----------------------------------------------------------
+
+    def _l1_fill(self, core: int, line: int) -> None:
+        # L1 evictions are silent: write-through L1 never holds dirty data.
+        self.l1s[core].insert(line, True)
+
+    def _invalidate_private(self, core: int, line: int) -> None:
+        self.l2s[core].invalidate(line)
+        self.l1s[core].invalidate(line)
+
+    def _downgrade_private(self, core: int, line: int) -> None:
+        self.l2s[core].update(line, _S)
+
+    def _inv_complete(self, start: int, bank_node: int,
+                      victims: set[int]) -> int:
+        """Cycle at which the home bank has all invalidation acks."""
+        worst = start
+        for v in victims:
+            node = self.core_nodes[v]
+            t_inv = (self.ring.latency_at(start, bank_node, node)
+                     + self.config.l2_latency)
+            t_ack = self.ring.latency_at(t_inv, node, bank_node)
+            worst = max(worst, t_ack)
+        return worst
+
+    def _upgrade(self, core: int, line: int, t: int) -> int:
+        """S→M upgrade: round trip to the home bank plus invalidations."""
+        bank = self.l3.bank_of(line)
+        bank_node = self.bank_nodes[bank.index]
+        core_node = self.core_nodes[core]
+        arrival = self.ring.latency_at(t, core_node, bank_node)
+        start = bank.start_access(arrival)
+        t_dir = start + bank.latency
+        victims = self.directory.on_upgrade(line, core)
+        t_acks = self._inv_complete(t_dir, bank_node, victims)
+        for v in victims:
+            self._invalidate_private(v, line)
+        self.l2s[core].update(line, _M)
+        return self.ring.latency_at(t_acks, bank_node, core_node)
+
+    def _miss(self, core: int, line: int, is_write: bool, t: int) -> int:
+        """L2 miss: consult the home bank directory, fetch data, fill."""
+        cfg = self.config
+        bank = self.l3.bank_of(line)
+        bank_node = self.bank_nodes[bank.index]
+        core_node = self.core_nodes[core]
+
+        arrival = self.ring.latency_at(t, core_node, bank_node)
+        start = bank.start_access(arrival)
+        t_dir = start + bank.latency
+
+        if is_write:
+            forward_from, was_dirty, invalidated = self.directory.on_getm(line, core)
+        else:
+            forward_from, was_dirty = self.directory.on_gets(line, core)
+            invalidated = set()
+
+        if forward_from is not None:
+            t_data = self._cache_to_cache(core, line, is_write, forward_from,
+                                          was_dirty, bank, bank_node, t_dir)
+        else:
+            ready = self._from_l3_or_memory(core, line, is_write, invalidated,
+                                            bank, bank_node, t_dir)
+            t_data = self.ring.latency_at(ready, bank_node, core_node)
+
+        new_state = _M if is_write else self._load_fill_state(line, core)
+        self._l2_install(core, line, new_state)
+        self._l1_fill(core, line)
+        return t_data
+
+    def _load_fill_state(self, line: int, core: int) -> MesiState:
+        entry = self.directory.entry(line)
+        if entry is not None and entry.owner == core:
+            return _E
+        return _S
+
+    def _cache_to_cache(self, core: int, line: int, is_write: bool,
+                        owner: int, was_dirty: bool,
+                        bank, bank_node: int, t_dir: int) -> int:
+        """Forward the line from the current owner's L2 to the requester."""
+        owner_node = self.core_nodes[owner]
+        core_node = self.core_nodes[core]
+        t_owner = (self.ring.latency_at(t_dir, bank_node, owner_node)
+                   + self.config.l2_latency)
+        t_data = self.ring.latency_at(t_owner, owner_node, core_node)
+        if is_write:
+            self._invalidate_private(owner, line)
+        else:
+            self._downgrade_private(owner, line)
+            if was_dirty:
+                # Dirty data also returns to the home L3 bank (clean copy).
+                bank.cache.update(line, False)
+        return t_data
+
+    def _from_l3_or_memory(self, core: int, line: int, is_write: bool,
+                           invalidated: set[int], bank, bank_node: int,
+                           t_dir: int) -> int:
+        """Data comes from the home L3 bank, or off-chip on an L3 miss.
+
+        Returns the cycle the data is ready *at the bank* (caller adds the
+        ring trip back to the requester).
+        """
+        t_acks = self._inv_complete(t_dir, bank_node, invalidated)
+        for v in invalidated:
+            self._invalidate_private(v, line)
+
+        l3_state = bank.cache.lookup(line)
+        if l3_state is not None:
+            return t_acks
+
+        # Off-chip: request phase -> DRAM bank -> data phase on the bus.
+        t_req = self.bus.request_phase(t_dir)
+        t_mem = self.dram.access(line, t_req)
+        t_bus = self.bus.data_phase(t_mem)
+        self._l3_install(bank, line, t_bus)
+        return max(t_bus, t_acks)
+
+    def _l3_install(self, bank, line: int, now: int) -> None:
+        """Fill a line into L3, recalling private copies of the victim."""
+        victim = bank.cache.insert(line, False)
+        if victim is None:
+            return
+        victim_line, victim_dirty = victim
+        holders, holder_dirty = self.directory.on_recall(victim_line)
+        for h in holders:
+            self._invalidate_private(h, victim_line)
+        if holders:
+            self.stats.recalls += 1
+        if victim_dirty or holder_dirty:
+            # Posted writeback: consumes bus bandwidth and a DRAM bank slot
+            # but does not block the requester.
+            t_bus = self.bus.data_phase(now)
+            self.dram.access(victim_line, t_bus)
+            self.stats.l3_writebacks_to_dram += 1
+
+    def _l2_install(self, core: int, line: int, state: MesiState) -> None:
+        """Fill a line into a private L2, handling the victim."""
+        victim = self.l2s[core].insert(line, state)
+        if victim is None:
+            return
+        victim_line, victim_state = victim
+        # Inclusion: the L1 copy goes with the L2 copy.
+        self.l1s[core].invalidate(victim_line)
+        dirty = self.directory.on_evict(victim_line, core, victim_state)
+        if victim_state is _M or dirty:
+            # Write dirty data back to the (inclusive) L3 home bank.
+            self.stats.l2_writebacks += 1
+            bank = self.l3.bank_of(victim_line)
+            if not bank.cache.update(victim_line, True):
+                # The L3 copy disappeared (recall raced the eviction in
+                # event order); push the dirty line straight off-chip.
+                t_bus = self.bus.data_phase(0)
+                self.dram.access(victim_line, t_bus)
+                self.stats.l3_writebacks_to_dram += 1

@@ -1,0 +1,104 @@
+"""Snapshots and run-level results.
+
+The paper reports two quantities per run: execution time (cycles) and
+power (average number of active cores).  :class:`Snapshot` captures the
+machine counters at an instant; :class:`RunResult` is the difference of
+two snapshots plus derived metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """Machine counters at one instant of simulated time."""
+
+    cycles: int
+    busy_core_cycles: int
+    spin_core_cycles: int
+    bus_busy_cycles: int
+    bus_transfers: int
+    l3_misses: int
+    l3_accesses: int
+    retired_instructions: int
+    lock_acquisitions: int
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Metrics over an interval of simulated execution.
+
+    ``power`` follows the paper's Section 3.1 definition: the number of
+    active cores in a cycle, averaged over the interval.  A core spinning
+    on a lock or barrier counts as active.
+    """
+
+    cycles: int
+    busy_core_cycles: int
+    spin_core_cycles: int
+    bus_busy_cycles: int
+    bus_transfers: int
+    l3_misses: int
+    l3_accesses: int
+    retired_instructions: int
+    lock_acquisitions: int
+
+    @staticmethod
+    def between(start: Snapshot, end: Snapshot) -> "RunResult":
+        """Result for the interval between two snapshots."""
+        return RunResult(
+            cycles=end.cycles - start.cycles,
+            busy_core_cycles=end.busy_core_cycles - start.busy_core_cycles,
+            spin_core_cycles=end.spin_core_cycles - start.spin_core_cycles,
+            bus_busy_cycles=end.bus_busy_cycles - start.bus_busy_cycles,
+            bus_transfers=end.bus_transfers - start.bus_transfers,
+            l3_misses=end.l3_misses - start.l3_misses,
+            l3_accesses=end.l3_accesses - start.l3_accesses,
+            retired_instructions=(end.retired_instructions
+                                  - start.retired_instructions),
+            lock_acquisitions=end.lock_acquisitions - start.lock_acquisitions,
+        )
+
+    @property
+    def power(self) -> float:
+        """Average active cores over the interval (the paper's power)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.busy_core_cycles / self.cycles
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of the interval the off-chip data bus was busy."""
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.bus_busy_cycles / self.cycles)
+
+    @property
+    def energy(self) -> float:
+        """Power x time proxy: active-core-cycles (paper: power savings
+        translate to energy savings when execution time is unchanged)."""
+        return float(self.busy_core_cycles)
+
+    @property
+    def ipc(self) -> float:
+        """Chip-wide retired instructions per cycle."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.retired_instructions / self.cycles
+
+    def __add__(self, other: "RunResult") -> "RunResult":
+        """Concatenate two disjoint intervals (times and counts add)."""
+        return RunResult(
+            cycles=self.cycles + other.cycles,
+            busy_core_cycles=self.busy_core_cycles + other.busy_core_cycles,
+            spin_core_cycles=self.spin_core_cycles + other.spin_core_cycles,
+            bus_busy_cycles=self.bus_busy_cycles + other.bus_busy_cycles,
+            bus_transfers=self.bus_transfers + other.bus_transfers,
+            l3_misses=self.l3_misses + other.l3_misses,
+            l3_accesses=self.l3_accesses + other.l3_accesses,
+            retired_instructions=(self.retired_instructions
+                                  + other.retired_instructions),
+            lock_acquisitions=self.lock_acquisitions + other.lock_acquisitions,
+        )

@@ -1,0 +1,136 @@
+"""Shared infrastructure for the twelve paper workloads (Table 2).
+
+Workloads are re-implementations of the paper's kernels as op-stream
+generators: they perform the real algorithmic work (real histograms, real
+sorting passes, real Mersenne-Twister state updates) at the Python level
+while emitting the corresponding :mod:`repro.isa` ops — loads and stores
+with the true address pattern, compute ops sized by an instructions-per-
+element cost, and the kernel's actual locks and barriers.
+
+Input sizes are scaled down from the paper's (documented per workload and
+in DESIGN.md §2); the *ratios* that drive the paper's results — critical-
+section fraction and single-thread bus utilization — are calibrated to the
+values the paper reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import WorkloadError
+from repro.fdt.runner import Application
+from repro.isa.ops import Compute, Load, Op, Store
+
+
+class Category(enum.Enum):
+    """The paper's three workload classes (Table 2)."""
+
+    CS_LIMITED = "synchronization-limited"
+    BW_LIMITED = "bandwidth-limited"
+    SCALABLE = "scalable"
+
+
+LINE = 64  # cache-line bytes; all workloads assume the Table 1 line size.
+
+
+class AddressSpace:
+    """Bump allocator handing out disjoint, line-aligned regions.
+
+    Every workload instance owns one, so two kernels of the same
+    application never alias and two applications never share addresses.
+    """
+
+    def __init__(self, base: int = 1 << 22) -> None:
+        self._next = base
+
+    def alloc(self, nbytes: int, align: int = LINE) -> int:
+        """Reserve ``nbytes`` and return the region's base address."""
+        if nbytes <= 0:
+            raise WorkloadError("allocation must be positive")
+        mask = align - 1
+        self._next = (self._next + mask) & ~mask
+        base = self._next
+        self._next += nbytes
+        return base
+
+
+# -- op-stream helpers --------------------------------------------------------
+
+def scan_block(base: int, nbytes: int, instr_per_line: int) -> Iterator[Op]:
+    """Stream over ``nbytes`` at ``base``: one load plus compute per line.
+
+    The canonical read-and-process loop: the load fetches the line, the
+    compute op stands for the per-element work on the line's contents.
+    """
+    for off in range(0, nbytes, LINE):
+        yield Load(base + off)
+        if instr_per_line:
+            yield Compute(instr_per_line)
+
+
+def write_block(base: int, nbytes: int, instr_per_line: int) -> Iterator[Op]:
+    """Stream of stores over ``nbytes`` with per-line compute."""
+    for off in range(0, nbytes, LINE):
+        if instr_per_line:
+            yield Compute(instr_per_line)
+        yield Store(base + off)
+
+
+def update_block(base: int, nbytes: int, instr_per_line: int) -> Iterator[Op]:
+    """Read-modify-write over ``nbytes`` (load + compute + store per line)."""
+    for off in range(0, nbytes, LINE):
+        yield Load(base + off)
+        if instr_per_line:
+            yield Compute(instr_per_line)
+        yield Store(base + off)
+
+
+# -- registry -------------------------------------------------------------------
+
+#: Builder signature: ``scale`` shrinks the input set for fast runs while
+#: preserving the calibrated ratios; 1.0 is the repo's reference input.
+AppBuilder = Callable[[float], Application]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Table 2 row: a workload's identity plus its builder."""
+
+    name: str
+    category: Category
+    description: str
+    paper_input: str
+    repro_input: str
+    build: AppBuilder
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register(spec: WorkloadSpec) -> WorkloadSpec:
+    """Add a workload to the global registry (module import time)."""
+    if spec.name in _REGISTRY:
+        raise WorkloadError(f"workload {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get(name: str) -> WorkloadSpec:
+    """Look up a workload by its Table 2 name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_specs() -> list[WorkloadSpec]:
+    """All registered workloads in Table 2 order (registration order)."""
+    return list(_REGISTRY.values())
+
+
+def by_category(category: Category) -> list[WorkloadSpec]:
+    """Registered workloads of one class, in registration order."""
+    return [s for s in _REGISTRY.values() if s.category is category]

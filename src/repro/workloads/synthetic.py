@@ -1,0 +1,125 @@
+"""Synthetic kernels with dial-a-limiter knobs.
+
+The twelve Table 2 workloads are fixed points; these kernels let tests,
+ablations, and users place a kernel *anywhere* in the (critical-section,
+bandwidth) plane:
+
+* ``cs_instr`` — instructions inside a per-iteration critical section
+  (drives Eq. 1's ``T_CS``);
+* ``lines_per_iteration`` + ``reuse`` — streaming loads (cold misses
+  when ``reuse=False``) driving bus demand (Eq. 4's ``BU_1``);
+* ``compute_instr`` — the perfectly parallel part (``T_NoCS``).
+
+``SyntheticKernel`` follows the Figure-1 team pattern (slice, critical
+section, barrier), so every analytical quantity in the paper maps to a
+constructor argument.  The crossover experiment
+(:mod:`repro.experiments.crossover`) sweeps these knobs to verify Eq. 7
+inside the simulator rather than just inside the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.fdt.kernel import TeamParallelKernel
+from repro.fdt.runner import Application
+from repro.isa.ops import BarrierWait, Compute, Load, Lock, Op, Store, Unlock
+from repro.runtime.parallel import static_chunks
+from repro.workloads.base import LINE, AddressSpace
+
+_CS_LOCK = 0
+_BARRIER = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticParams:
+    """Knobs of the synthetic kernel."""
+
+    iterations: int = 128
+    #: Perfectly parallel instructions per iteration (split by the team).
+    compute_instr: int = 20_000
+    #: Cache lines streamed per iteration (split by the team).
+    lines_per_iteration: int = 0
+    #: Re-read the same lines every iteration (True: warm after the
+    #: first pass) or stream fresh lines (False: every load misses).
+    reuse: bool = False
+    #: Instructions inside the per-thread critical section.
+    cs_instr: int = 0
+    #: Shared lines written inside the critical section (ping-pong).
+    cs_lines: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise WorkloadError("need at least one iteration")
+        if min(self.compute_instr, self.lines_per_iteration,
+               self.cs_instr, self.cs_lines) < 0:
+            raise WorkloadError("knobs must be non-negative")
+
+
+class SyntheticKernel(TeamParallelKernel):
+    """A Figure-1-shaped kernel with fully parameterized costs."""
+
+    def __init__(self, params: SyntheticParams,
+                 name: str = "synthetic") -> None:
+        self.params = params
+        self.name = name
+        space = AddressSpace()
+        stream_bytes = max(LINE, params.lines_per_iteration * LINE)
+        if not params.reuse:
+            stream_bytes *= params.iterations
+        self._stream_base = space.alloc(stream_bytes)
+        self._shared_base = space.alloc(max(1, params.cs_lines) * LINE)
+
+    @property
+    def total_iterations(self) -> int:
+        return self.params.iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        p = self.params
+
+        # Parallel part: streaming loads plus compute, split by the team.
+        lines = static_chunks(p.lines_per_iteration, num_threads)[thread_id]
+        offset = 0 if p.reuse else iteration * p.lines_per_iteration
+        for k in lines:
+            yield Load(self._stream_base + (offset + k) * LINE)
+        instr = static_chunks(p.compute_instr, num_threads)[thread_id]
+        remaining = len(instr)
+        while remaining > 0:
+            yield Compute(min(remaining, 4096))
+            remaining -= 4096
+
+        # Critical section: constant per-thread work on shared lines.
+        if p.cs_instr:
+            yield Lock(_CS_LOCK)
+            per_line = max(1, p.cs_instr // max(1, p.cs_lines))
+            for k in range(p.cs_lines):
+                yield Compute(per_line)
+                yield Store(self._shared_base + k * LINE)
+            yield Unlock(_CS_LOCK)
+
+        yield BarrierWait(_BARRIER)
+
+
+def build_synthetic(cs_fraction: float = 0.0, bus_lines: int = 0,
+                    iterations: int = 128,
+                    compute_instr: int = 20_000,
+                    name: str = "synthetic") -> Application:
+    """Build an application with a target critical-section fraction.
+
+    ``cs_fraction`` is the single-threaded T_CS share (Eq. 3's input):
+    the CS instruction count is derived from ``compute_instr``.
+    ``bus_lines`` adds cold streaming loads per iteration.
+    """
+    if not 0.0 <= cs_fraction < 1.0:
+        raise WorkloadError("cs_fraction must be in [0, 1)")
+    cs_instr = int(compute_instr * cs_fraction / max(1e-9, 1.0 - cs_fraction))
+    kernel = SyntheticKernel(SyntheticParams(
+        iterations=iterations,
+        compute_instr=compute_instr,
+        lines_per_iteration=bus_lines,
+        cs_instr=cs_instr,
+    ), name=name)
+    return Application.single(kernel, name=name)

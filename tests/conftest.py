@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def baseline_config() -> MachineConfig:
+    """The paper's Table 1 machine."""
+    return MachineConfig.asplos08_baseline()
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """A small machine for fast unit tests (8 cores, tiny caches)."""
+    return MachineConfig.small()
+
+
+@pytest.fixture
+def machine(baseline_config: MachineConfig) -> Machine:
+    return Machine(baseline_config)
+
+
+@pytest.fixture
+def small_machine(small_config: MachineConfig) -> Machine:
+    return Machine(small_config)

@@ -1,0 +1,89 @@
+"""Tests for the Amdahl helpers and their relation to Eq. 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.amdahl import (
+    AmdahlModel,
+    amdahl_limit,
+    amdahl_speedup,
+    crossover_threads,
+)
+from repro.models.sat_model import SatModel
+
+
+def test_textbook_values():
+    # 5% serial: limit 20x; at 32 threads ~12.55x.
+    assert amdahl_limit(0.05) == pytest.approx(20.0)
+    assert amdahl_speedup(0.05, 32) == pytest.approx(12.55, abs=0.01)
+
+
+def test_fully_parallel_job():
+    assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+    assert amdahl_limit(0.0) == math.inf
+
+
+def test_fully_serial_job():
+    assert amdahl_speedup(1.0, 64) == pytest.approx(1.0)
+    assert amdahl_limit(1.0) == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        amdahl_speedup(1.5, 2)
+    with pytest.raises(ValueError):
+        amdahl_speedup(0.5, 0)
+    with pytest.raises(ValueError):
+        amdahl_limit(-0.1)
+
+
+@given(s=st.floats(0.0, 1.0), p=st.integers(1, 512))
+def test_speedup_bounded_by_limit_and_threads(s, p):
+    sp = amdahl_speedup(s, p)
+    assert 1.0 <= sp <= p + 1e-9
+    assert sp <= amdahl_limit(s) + 1e-9
+
+
+@given(s=st.floats(0.01, 0.99), p=st.integers(1, 100))
+def test_speedup_monotone_in_threads(s, p):
+    assert amdahl_speedup(s, p + 1) >= amdahl_speedup(s, p)
+
+
+def test_models_agree_at_one_thread():
+    sat = SatModel(t_nocs=900.0, t_cs=100.0)
+    amdahl = AmdahlModel(serial=100.0, parallel=900.0)
+    assert sat.execution_time(1) == pytest.approx(amdahl.execution_time(1))
+
+
+def test_eq1_always_at_or_above_amdahl():
+    """A per-thread critical section can never beat a fixed serial stub
+    of the same single-thread size."""
+    sat = SatModel(t_nocs=900.0, t_cs=100.0)
+    amdahl = AmdahlModel(serial=100.0, parallel=900.0)
+    for p in range(1, 64):
+        assert sat.execution_time(p) >= amdahl.execution_time(p) - 1e-9
+
+
+def test_crossover_for_one_percent_cs():
+    """The paper's 1%-CS example: Amdahl says 'fine to ~100x', Eq. 1
+    turns the curve up at 10 threads; the 2x divergence lands soon
+    after."""
+    sat = SatModel(t_nocs=99.0, t_cs=1.0)
+    cross = crossover_threads(sat)
+    assert 10 < cross < 200
+
+
+def test_crossover_infinite_without_cs():
+    assert crossover_threads(SatModel(t_nocs=100.0, t_cs=0.0)) == math.inf
+
+
+@given(ratio=st.floats(5.0, 500.0))
+def test_crossover_grows_with_cs_ratio(ratio):
+    small_cs = SatModel(t_nocs=ratio * 2, t_cs=1.0)
+    big_cs = SatModel(t_nocs=ratio, t_cs=1.0)
+    assert crossover_threads(small_cs) >= crossover_threads(big_cs)

@@ -1,0 +1,106 @@
+"""Unit tests for the split-transaction off-chip bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.bus import OffChipBus, ReservationTimeline
+from repro.sim.config import MachineConfig
+
+
+@pytest.fixture
+def bus() -> OffChipBus:
+    return OffChipBus(MachineConfig.asplos08_baseline())
+
+
+def test_baseline_line_occupancy_is_32_cycles():
+    cfg = MachineConfig.asplos08_baseline()
+    assert cfg.bus_cycles_per_line == 32
+
+
+def test_request_phase_is_pure_latency(bus: OffChipBus):
+    assert bus.request_phase(100) == 140
+    assert bus.request_phase(100) == 140  # no contention on the address bus
+
+
+def test_data_phase_occupies_bus(bus: OffChipBus):
+    done = bus.data_phase(0)
+    assert done == 32
+    assert bus.busy_cycles == 32
+    assert bus.stats.transfers == 1
+
+
+def test_back_to_back_transfers_serialize(bus: OffChipBus):
+    t1 = bus.data_phase(0)
+    t2 = bus.data_phase(0)
+    assert t2 == t1 + 32
+    assert bus.stats.total_wait_cycles == 32
+
+
+def test_spaced_transfers_do_not_wait(bus: OffChipBus):
+    bus.data_phase(0)
+    done = bus.data_phase(100)
+    assert done == 132
+    assert bus.stats.total_wait_cycles == 0
+
+
+def test_out_of_order_ready_times_fill_gaps(bus: OffChipBus):
+    """A transfer ready early must slot into an idle gap, not queue
+    behind a reservation made earlier for a later ready time."""
+    bus.data_phase(1000)  # reserves [1000, 1032)
+    done = bus.data_phase(0)  # ready long before: uses the idle bus now
+    assert done == 32
+    assert bus.stats.total_wait_cycles == 0
+
+
+def test_gap_too_small_is_skipped():
+    tl = ReservationTimeline()
+    tl.reserve(0, 32)      # [0, 32)
+    tl.reserve(40, 32)     # [40, 72)
+    start = tl.reserve(0, 32)  # gap [32, 40) too small -> goes after 72
+    assert start == 72
+
+
+def test_exact_fit_gap_is_used():
+    tl = ReservationTimeline()
+    tl.reserve(0, 32)      # [0, 32)
+    tl.reserve(64, 32)     # [64, 96)
+    start = tl.reserve(0, 32)  # gap [32, 64) fits exactly
+    assert start == 32
+
+
+def test_timeline_reservations_never_overlap():
+    tl = ReservationTimeline()
+    intervals = []
+    readies = [0, 100, 3, 50, 50, 0, 200, 7, 7, 7]
+    for r in readies:
+        s = tl.reserve(r, 32)
+        assert s >= r
+        intervals.append((s, s + 32))
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2
+
+
+def test_utilization_is_busy_over_elapsed(bus: OffChipBus):
+    bus.data_phase(0)
+    bus.data_phase(0)
+    assert bus.stats.utilization(128) == pytest.approx(0.5)
+    assert bus.stats.utilization(0) == 0.0
+
+
+def test_utilization_caps_at_one(bus: OffChipBus):
+    bus.data_phase(0)
+    assert bus.stats.utilization(16) == 1.0
+
+
+def test_bandwidth_scaling_changes_occupancy():
+    half = MachineConfig.asplos08_baseline().with_bandwidth(0.5)
+    double = MachineConfig.asplos08_baseline().with_bandwidth(2.0)
+    assert OffChipBus(half).cycles_per_line == 64
+    assert OffChipBus(double).cycles_per_line == 16
+
+
+def test_free_at_tracks_last_booking(bus: OffChipBus):
+    bus.data_phase(10)
+    assert bus.free_at == 42

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_thread_list, build_parser, main
+from repro.errors import ReproError
+
+
+def run_cli(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list_shows_all_workloads(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("PageMine", "ED", "MTwister", "SConv"):
+        assert name in out
+
+
+def test_machine_prints_table1(capsys):
+    code, out = run_cli(capsys, "machine")
+    assert code == 0
+    assert "32-core CMP" in out
+    assert "split-transaction" in out
+
+
+def test_machine_with_knobs(capsys):
+    code, out = run_cli(capsys, "machine", "--cores", "16",
+                        "--bandwidth", "2")
+    assert code == 0
+    assert "16-core CMP" in out
+    assert "one line per 16 cycles" in out
+
+
+def test_run_static_policy(capsys):
+    code, out = run_cli(capsys, "run", "EP", "--policy", "static",
+                        "--threads", "4", "--scale", "0.25")
+    assert code == 0
+    assert "4 threads" in out
+    assert "power" in out
+
+
+def test_run_fdt_reports_estimates(capsys):
+    code, out = run_cli(capsys, "run", "EP", "--policy", "sat",
+                        "--scale", "0.25")
+    assert code == 0
+    assert "P_CS" in out
+    assert "trained" in out
+
+
+def test_run_unknown_workload_fails_cleanly(capsys):
+    code = main(["run", "NoSuchWorkload"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+
+
+def test_sweep_prints_table_and_oracle(capsys):
+    code, out = run_cli(capsys, "sweep", "EP", "--threads", "1,4",
+                        "--scale", "0.25")
+    assert code == 0
+    assert "norm time" in out
+    assert "oracle" in out
+
+
+def test_sweep_rejects_bad_thread_list(capsys):
+    code = main(["sweep", "EP", "--threads", "1,two"])
+    assert code == 2
+
+
+def test_figure_analytic(capsys):
+    code, out = run_cli(capsys, "figure", "fig6")
+    assert code == 0
+    assert "Figure 6" in out
+
+
+def test_figure_table2(capsys):
+    code, out = run_cli(capsys, "figure", "table2")
+    assert code == 0
+    assert "Table 2" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parse_thread_list():
+    assert _parse_thread_list("1,2,4") == (1, 2, 4)
+    with pytest.raises(ReproError):
+        _parse_thread_list("a,b")
+
+
+def test_run_with_smt_flag(capsys):
+    code, out = run_cli(capsys, "run", "EP", "--policy", "sat",
+                        "--scale", "0.25", "--smt", "2")
+    assert code == 0
+
+
+def test_run_writes_machine_report(capsys, tmp_path):
+    report = tmp_path / "report.json"
+    code, out = run_cli(capsys, "run", "EP", "--policy", "static",
+                        "--threads", "2", "--scale", "0.25",
+                        "--report", str(report))
+    assert code == 0
+    import json
+    parsed = json.loads(report.read_text())
+    assert parsed["cycles"] > 0
+    assert parsed["locks"]["acquisitions"] > 0

@@ -1,0 +1,92 @@
+"""Unit tests for MachineConfig (Table 1) validation and derivations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import MachineConfig
+
+
+def test_baseline_matches_table1():
+    c = MachineConfig.asplos08_baseline()
+    assert c.num_cores == 32
+    assert c.issue_width == 2
+    assert c.pipeline_depth == 5
+    assert c.l1_bytes == 8 * 1024
+    assert c.l2_bytes == 64 * 1024
+    assert c.l2_assoc == 4
+    assert c.l3_bytes == 8 * 1024 * 1024
+    assert c.l3_assoc == 8
+    assert c.l3_banks == 8
+    assert c.l3_latency == 20
+    assert c.line_bytes == 64
+    assert c.cpu_bus_ratio == 4
+    assert c.bus_latency == 40
+    assert c.dram_banks == 32
+
+
+def test_peak_bandwidth_one_line_per_32_cycles():
+    c = MachineConfig.asplos08_baseline()
+    assert c.bus_cycles_per_line == 32
+    assert c.peak_bus_lines_per_kcycle == pytest.approx(31.25)
+
+
+def test_gshare_entries_from_bytes():
+    assert MachineConfig.asplos08_baseline().gshare_entries == 16384
+
+
+def test_config_is_hashable_and_comparable():
+    a = MachineConfig.asplos08_baseline()
+    b = MachineConfig.asplos08_baseline()
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != a.with_cores(16)
+
+
+def test_with_bandwidth_half_and_double():
+    base = MachineConfig.asplos08_baseline()
+    assert base.with_bandwidth(0.5).bus_cycles_per_line == 64
+    assert base.with_bandwidth(2.0).bus_cycles_per_line == 16
+
+
+def test_with_bandwidth_rejects_nonpositive():
+    with pytest.raises(ConfigError):
+        MachineConfig.asplos08_baseline().with_bandwidth(0)
+
+
+def test_with_bandwidth_clamps_ratio_at_one():
+    cfg = MachineConfig.asplos08_baseline().with_bandwidth(100.0)
+    assert cfg.cpu_bus_ratio == 1
+
+
+def test_with_cores():
+    assert MachineConfig.asplos08_baseline().with_cores(8).num_cores == 8
+
+
+def test_invalid_core_count_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig(num_cores=0)
+
+
+def test_invalid_line_bytes_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig(line_bytes=48)
+
+
+def test_cache_size_must_divide_into_sets():
+    with pytest.raises(ConfigError):
+        MachineConfig(l2_bytes=64 * 1024 + 64, l2_assoc=4)
+
+
+def test_banks_must_be_power_of_two():
+    with pytest.raises(ConfigError):
+        MachineConfig(l3_banks=6)
+    with pytest.raises(ConfigError):
+        MachineConfig(dram_banks=12)
+
+
+def test_small_config_is_valid():
+    c = MachineConfig.small()
+    assert c.num_cores == 8
+    assert c.l3_bytes < MachineConfig.asplos08_baseline().l3_bytes

@@ -1,0 +1,118 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventQueue
+
+
+def test_starts_at_cycle_zero():
+    assert EventQueue().now == 0
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    seen = []
+    q.schedule(30, lambda: seen.append(30))
+    q.schedule(10, lambda: seen.append(10))
+    q.schedule(20, lambda: seen.append(20))
+    q.run()
+    assert seen == [10, 20, 30]
+
+
+def test_ties_break_in_schedule_order():
+    q = EventQueue()
+    seen = []
+    for tag in ("a", "b", "c"):
+        q.schedule(5, lambda t=tag: seen.append(t))
+    q.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    q = EventQueue()
+    times = []
+    q.schedule(17, lambda: times.append(q.now))
+    q.run()
+    assert times == [17]
+    assert q.now == 17
+
+
+def test_scheduling_in_the_past_raises():
+    q = EventQueue()
+    q.schedule(10, lambda: None)
+    q.run()
+    with pytest.raises(SimulationError):
+        q.schedule(5, lambda: None)
+
+
+def test_schedule_at_current_time_is_allowed():
+    q = EventQueue()
+    seen = []
+    q.schedule(10, lambda: q.schedule(10, lambda: seen.append("nested")))
+    q.run()
+    assert seen == ["nested"]
+
+
+def test_schedule_in_is_relative():
+    q = EventQueue()
+    q.schedule(10, lambda: q.schedule_in(5, lambda: None))
+    q.run()
+    assert q.now == 15
+
+
+def test_run_until_leaves_future_events_queued():
+    q = EventQueue()
+    seen = []
+    q.schedule(10, lambda: seen.append(10))
+    q.schedule(100, lambda: seen.append(100))
+    q.run(until=50)
+    assert seen == [10]
+    assert q.now == 50
+    assert len(q) == 1
+    q.run()
+    assert seen == [10, 100]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    q = EventQueue()
+    q.run(until=42)
+    assert q.now == 42
+
+
+def test_step_runs_one_event():
+    q = EventQueue()
+    seen = []
+    q.schedule(1, lambda: seen.append(1))
+    q.schedule(2, lambda: seen.append(2))
+    assert q.step() is True
+    assert seen == [1]
+    assert q.step() is True
+    assert q.step() is False
+    assert seen == [1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    q = EventQueue()
+    seen = []
+
+    def first():
+        seen.append("first")
+        q.schedule(q.now + 5, lambda: seen.append("second"))
+
+    q.schedule(1, first)
+    q.run()
+    assert seen == ["first", "second"]
+    assert q.now == 6
+
+
+def test_len_reflects_pending_events():
+    q = EventQueue()
+    assert len(q) == 0
+    q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    q.run()
+    assert len(q) == 0

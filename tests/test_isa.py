@@ -1,0 +1,81 @@
+"""Unit tests for the IR ops and program helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.ops import (
+    BarrierWait,
+    Branch,
+    Compute,
+    CounterKind,
+    Load,
+    Lock,
+    ReadCounter,
+    Store,
+    Unlock,
+)
+from repro.isa.program import instruction_count, validate_program
+
+
+def test_compute_rejects_negative():
+    with pytest.raises(ValueError):
+        Compute(-1)
+
+
+def test_ops_are_immutable():
+    op = Load(0x1000)
+    with pytest.raises(AttributeError):
+        op.addr = 0x2000  # type: ignore[misc]
+
+
+def test_ops_compare_by_value():
+    assert Load(8) == Load(8)
+    assert Store(8) != Store(16)
+    assert Compute(4) == Compute(4)
+
+
+def test_validate_accepts_well_formed_program():
+    ops = [Compute(10), Load(0), Lock(1), Store(64), Unlock(1),
+           BarrierWait(0), Branch(0x40, True),
+           ReadCounter(CounterKind.CYCLES)]
+    assert validate_program(ops) == ops
+
+
+def test_validate_rejects_unlock_without_lock():
+    with pytest.raises(ProgramError):
+        validate_program([Unlock(0)])
+
+
+def test_validate_rejects_mismatched_unlock():
+    with pytest.raises(ProgramError):
+        validate_program([Lock(0), Lock(1), Unlock(0), Unlock(1)])
+
+
+def test_validate_accepts_nested_locks():
+    ops = [Lock(0), Lock(1), Unlock(1), Unlock(0)]
+    assert validate_program(ops) == ops
+
+
+def test_validate_rejects_leaked_lock():
+    with pytest.raises(ProgramError):
+        validate_program([Lock(3)])
+
+
+def test_validate_rejects_foreign_objects():
+    with pytest.raises(ProgramError):
+        validate_program([Compute(1), "not-an-op"])  # type: ignore[list-item]
+
+
+def test_instruction_count_weights_compute():
+    ops = [Compute(100), Load(0), Store(0), Branch(0, True)]
+    assert instruction_count(ops) == 103
+
+
+def test_instruction_count_empty():
+    assert instruction_count([]) == 0
+
+
+def test_counter_kinds_are_distinct():
+    assert len({k.value for k in CounterKind}) == len(list(CounterKind))

@@ -1,0 +1,79 @@
+"""Unit tests for static chunking and the ParallelFor adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.ops import Compute
+from repro.runtime.parallel import ParallelFor, static_chunks
+
+
+def test_chunks_partition_exactly():
+    chunks = static_chunks(100, 7)
+    covered = [i for c in chunks for i in c]
+    assert covered == list(range(100))
+
+
+def test_chunk_sizes_differ_by_at_most_one():
+    chunks = static_chunks(100, 7)
+    sizes = [len(c) for c in chunks]
+    assert max(sizes) - min(sizes) <= 1
+    assert sizes[0] >= sizes[-1]  # extras go to the first threads
+
+
+def test_even_division():
+    chunks = static_chunks(64, 8)
+    assert all(len(c) == 8 for c in chunks)
+
+
+def test_more_threads_than_iterations_gives_empty_chunks():
+    chunks = static_chunks(3, 8)
+    assert sum(len(c) for c in chunks) == 3
+    assert sum(1 for c in chunks if len(c) == 0) == 5
+
+
+def test_start_offset_shifts_ranges():
+    chunks = static_chunks(10, 2, start=100)
+    assert chunks[0] == range(100, 105)
+    assert chunks[1] == range(105, 110)
+
+
+def test_zero_iterations():
+    chunks = static_chunks(0, 4)
+    assert all(len(c) == 0 for c in chunks)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ConfigError):
+        static_chunks(10, 0)
+    with pytest.raises(ConfigError):
+        static_chunks(-1, 2)
+
+
+def test_parallel_for_builds_one_factory_per_thread():
+    def body(iters, tid, team):
+        for _ in iters:
+            yield Compute(1)
+
+    pfor = ParallelFor(total_iterations=10, body=body)
+    factories = pfor.factories(num_threads=3)
+    assert len(factories) == 3
+    ops = list(factories[0](0, 3))
+    assert len(ops) == 4  # ceil(10/3)
+
+
+def test_parallel_for_subrange():
+    def body(iters, tid, team):
+        yield Compute(len(iters))
+
+    pfor = ParallelFor(total_iterations=100, body=body)
+    sub = pfor.subrange(10, 30)
+    assert sub.total_iterations == 20
+    assert sub.start == 10
+
+
+def test_subrange_bounds_checked():
+    pfor = ParallelFor(total_iterations=10, body=lambda i, t, n: iter([]))
+    with pytest.raises(ConfigError):
+        pfor.subrange(5, 20)

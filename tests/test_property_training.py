@@ -1,0 +1,106 @@
+"""Property-based tests for the FDT training rules (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fdt.estimators import estimate
+from repro.fdt.training import TrainingConfig, TrainingLog, TrainingSample
+
+samples = st.lists(
+    st.builds(
+        TrainingSample,
+        iteration=st.integers(0, 1000),
+        total_cycles=st.integers(1, 100_000),
+        cs_cycles=st.integers(0, 5_000),
+        bus_busy_cycles=st.integers(0, 50_000),
+    ),
+    min_size=1, max_size=50,
+)
+
+
+def feed(log: TrainingLog, items) -> int:
+    """Record until the log says stop; return iterations consumed."""
+    for n, s in enumerate(items, start=1):
+        if log.record(s):
+            return n
+    return len(items)
+
+
+@given(items=samples, total=st.integers(100, 100_000))
+@settings(max_examples=100)
+def test_training_never_exceeds_its_cap(items, total):
+    log = TrainingLog(config=TrainingConfig(), total_iterations=total,
+                      num_cores=32)
+    consumed = feed(log, items)
+    cap = log.config.max_training_iterations(total)
+    assert consumed <= cap
+    assert log.trained_iterations == consumed
+
+
+@given(items=samples)
+@settings(max_examples=100)
+def test_cap_leaves_an_execution_phase(items):
+    for total in (2, 3, 10, 11, 999):
+        cfg = TrainingConfig()
+        assert 1 <= cfg.max_training_iterations(total) <= max(1, total // 2)
+
+
+@given(items=samples)
+@settings(max_examples=100)
+def test_estimates_always_well_formed(items):
+    log = TrainingLog(config=TrainingConfig(), total_iterations=10_000,
+                      num_cores=32)
+    feed(log, items)
+    e = estimate(log, num_cores=32)
+    assert 1 <= e.p_cs <= 32
+    assert 1 <= e.p_bw <= 32
+    assert e.p_fdt == max(1, min(e.p_cs, e.p_bw, 32))
+    assert e.t_cs >= 0 and e.t_nocs >= 0
+    assert 0.0 <= e.bu1 <= 1.0
+    assert 0.0 <= e.cs_fraction <= 1.0
+
+
+@given(cs=st.integers(0, 100), total=st.integers(1000, 2000))
+@settings(max_examples=50)
+def test_identical_samples_trigger_stability(cs, total):
+    """Three identical samples always satisfy the SAT stability rule."""
+    log = TrainingLog(config=TrainingConfig(need_bat=False),
+                      total_iterations=100_000, num_cores=32)
+    s = TrainingSample(iteration=0, total_cycles=total, cs_cycles=cs,
+                       bus_busy_cycles=0)
+    stopped_at = feed(log, [s] * 10)
+    assert stopped_at == 3
+    assert log.stop_reason == "measurements-stable"
+
+
+@given(busy_frac=st.floats(0.0, 1.0))
+@settings(max_examples=60)
+def test_bat_early_out_boundary(busy_frac):
+    """BAT stops early iff mean utilization x cores stays below 100 %."""
+    cores = 32
+    total = 20_000
+    busy = int(total * busy_frac)
+    log = TrainingLog(config=TrainingConfig(need_sat=False),
+                      total_iterations=100_000, num_cores=cores)
+    s = TrainingSample(iteration=0, total_cycles=total, cs_cycles=0,
+                       bus_busy_cycles=busy)
+    consumed = feed(log, [s] * 20)
+    can_saturate = (busy / total) * cores >= 1.0
+    if can_saturate:
+        assert consumed == 20  # keeps training (to the cap, eventually)
+    else:
+        assert consumed <= 2   # early-out once >= 10k cycles observed
+
+
+@given(items=samples)
+@settings(max_examples=60)
+def test_mean_utilization_is_cycle_weighted(items):
+    log = TrainingLog(config=TrainingConfig(), total_iterations=10_000_000,
+                      num_cores=32)
+    for s in items:
+        log.samples.append(s)
+    total = sum(s.total_cycles for s in items)
+    busy = sum(s.bus_busy_cycles for s in items)
+    assert log.mean_bus_utilization() == min(1.0, busy / total)

@@ -1,0 +1,129 @@
+"""Cross-cutting simulator scenarios spanning multiple subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.ops import BarrierWait, Compute, Load, Lock, Store, Unlock
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+def test_coherence_is_correct_across_smt_contexts():
+    """Two contexts of the same core share the L2: a line written by one
+    context is an L1/L2 hit for the other with no coherence traffic."""
+    m = Machine(MachineConfig.small(num_cores=2).with_smt(2))
+    addr = 1 << 21
+    order = []
+
+    def writer(tid, team):
+        yield Store(addr)
+        order.append("wrote")
+        yield BarrierWait(0)
+        yield BarrierWait(1)
+
+    def reader(tid, team):
+        yield BarrierWait(0)
+        c2c_before = m.memsys.directory.stats.cache_to_cache
+        yield Load(addr)
+        order.append(("read", m.memsys.directory.stats.cache_to_cache
+                      - c2c_before))
+        yield BarrierWait(1)
+
+    # Slots 0 and 2 share core 0 (scatter placement on 2 cores).
+    def slot(tid, team):
+        if tid == 0:
+            yield from writer(tid, team)
+        elif tid == 2:
+            yield from reader(tid, team)
+        else:
+            yield BarrierWait(0)
+            yield BarrierWait(1)
+
+    m.run_parallel([slot] * 4, spawn_overhead=False)
+    assert order[0] == "wrote"
+    assert order[1] == ("read", 0), "same-core read needs no c2c transfer"
+
+
+def test_lock_protected_line_migrates_cleanly():
+    """The classic CS pattern: the shared line follows the lock around
+    the ring with one GetM per handoff and no lost updates."""
+    m = Machine(MachineConfig.asplos08_baseline())
+    shared = 1 << 22
+    counter = {"value": 0}
+
+    def factory(tid, team):
+        for _ in range(4):
+            yield Lock(0)
+            counter["value"] += 1
+            yield Store(shared)
+            yield Unlock(0)
+            yield Compute(500)
+
+    m.run_parallel([factory] * 6, spawn_overhead=False)
+    assert counter["value"] == 24
+    stats = m.memsys.directory.stats
+    # The line transferred between cores many times, never via the bus.
+    assert stats.getm + stats.upgrades >= 20
+    assert m.memsys.bus.stats.transfers <= 2  # just the cold fill(s)
+
+
+def test_barrier_storm_with_uneven_compute():
+    """Hundreds of barrier generations with skewed per-thread work must
+    neither deadlock nor leak barrier state."""
+    m = Machine(MachineConfig.small())
+
+    def factory(tid, team):
+        for gen in range(100):
+            yield Compute(50 * (tid + 1))
+            yield BarrierWait(0)
+
+    m.run_parallel([factory] * 8, spawn_overhead=False)
+    assert m.barriers.stats.episodes == 100
+    assert not m.barriers.any_waiting()
+
+
+def test_write_sharing_ping_pong_consumes_no_bus_bandwidth():
+    """Line ping-pong between cores is on-chip traffic only: the bus
+    carries the single cold fill, no matter how many transfers."""
+    m = Machine(MachineConfig.asplos08_baseline())
+    addr = 1 << 23
+
+    def factory(tid, team):
+        for _ in range(10):
+            yield Store(addr)
+            yield Compute(200)
+
+    m.run_parallel([factory] * 4, spawn_overhead=False)
+    assert m.memsys.directory.stats.cache_to_cache >= 20
+    assert m.memsys.bus.stats.transfers == 1
+
+
+def test_region_sequence_mixes_team_sizes():
+    """FDT's serial-train-then-parallel-execute shape: regions of
+    different team sizes interleave on one machine without residue."""
+    m = Machine(MachineConfig.small())
+
+    def worker(n):
+        def factory(tid, team):
+            yield Compute(n)
+        return factory
+
+    for team in (1, 4, 2, 8, 1):
+        m.run_parallel([worker(1000)] * team, spawn_overhead=(team > 1))
+        assert all(c.is_idle for c in m.cores)
+    assert m.now > 0
+
+
+def test_power_accounting_spans_mixed_regions():
+    m = Machine(MachineConfig.small())
+
+    def worker(tid, team):
+        yield Compute(100_000)
+
+    s0 = m.snapshot()
+    m.run_parallel([worker], spawn_overhead=False)       # 1 core busy
+    m.run_parallel([worker] * 8, spawn_overhead=False)   # 8 cores busy
+    r = m.result_since(s0)
+    # 50k cycles at power 1 plus 50k at power 8 -> average 4.5.
+    assert r.power == pytest.approx(4.5, rel=0.05)

@@ -1,0 +1,196 @@
+"""Tests for the SMT extension (paper Section 9).
+
+"We assumed that only one thread executes per core ... However, the
+conclusions derived in this paper are also applicable to CMP systems
+with SMT-enabled cores."  These tests check the SMT machine model and
+that FDT's conclusions indeed carry over.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
+from repro.fdt.runner import run_application
+from repro.isa.ops import BarrierWait, Compute, Load, Lock, Unlock
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import get
+
+
+def smt_config(cores: int = 8, smt: int = 2) -> MachineConfig:
+    return MachineConfig.small(num_cores=cores).with_smt(smt)
+
+
+def test_config_slots():
+    cfg = MachineConfig.asplos08_baseline().with_smt(2)
+    assert cfg.num_thread_slots == 64
+    assert MachineConfig.asplos08_baseline().num_thread_slots == 32
+
+
+def test_config_rejects_zero_contexts():
+    with pytest.raises(ConfigError):
+        MachineConfig(smt_threads=0)
+
+
+def test_team_larger_than_cores_allowed_with_smt():
+    m = Machine(smt_config(cores=4, smt=2))
+
+    def factory(tid, team):
+        yield Compute(100)
+
+    region = m.run_parallel([factory] * 8, spawn_overhead=False)
+    assert region.cycles > 0
+
+
+def test_team_larger_than_slots_rejected():
+    m = Machine(smt_config(cores=4, smt=2))
+
+    def factory(tid, team):
+        yield Compute(2)
+
+    with pytest.raises(ConfigError):
+        m.run_parallel([factory] * 9)
+
+
+def test_agent_placement_fills_cores_first():
+    m = Machine(smt_config(cores=4, smt=2))
+    assert [m.core_of_agent(a) for a in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert [m.context_of_agent(a) for a in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def test_two_contexts_share_issue_bandwidth():
+    """Two compute-bound threads on one core take ~2x one thread's time."""
+    def factory(tid, team):
+        yield Compute(100_000)
+
+    alone = Machine(smt_config(cores=1, smt=2))
+    r1 = alone.run_parallel([factory], spawn_overhead=False)
+
+    shared = Machine(smt_config(cores=1, smt=2))
+    r2 = shared.run_parallel([factory] * 2, spawn_overhead=False)
+    assert r2.cycles == pytest.approx(2 * r1.cycles, rel=0.02)
+
+
+def test_contexts_on_different_cores_do_not_interfere():
+    def factory(tid, team):
+        yield Compute(100_000)
+
+    m = Machine(smt_config(cores=2, smt=2))
+    region = m.run_parallel([factory] * 2, spawn_overhead=False)
+    assert region.cycles == pytest.approx(50_000, rel=0.05)
+
+
+def test_smt_hides_memory_latency():
+    """Two memory-bound threads on one core overlap their misses, so
+    SMT-2 beats one thread on throughput (unlike pure compute)."""
+    def factory_range(lo, hi):
+        def factory(tid, team):
+            for line in range(lo, hi):
+                yield Load((1 << 22) + line * 64)
+        return factory
+
+    single = Machine(smt_config(cores=1, smt=2))
+    r1 = single.run_parallel([factory_range(0, 400)], spawn_overhead=False)
+
+    dual = Machine(smt_config(cores=1, smt=2))
+    r2 = dual.run_parallel(
+        [factory_range(0, 200), factory_range(200, 400)],
+        spawn_overhead=False)
+    assert r2.cycles < 0.65 * r1.cycles
+
+
+def test_power_counts_cores_not_contexts():
+    """A core with both contexts busy is one active core, not two."""
+    def factory(tid, team):
+        yield Compute(100_000)
+
+    m = Machine(smt_config(cores=2, smt=2))
+    before = m.snapshot()
+    m.run_parallel([factory] * 4, spawn_overhead=False)
+    result = m.result_since(before)
+    assert result.power == pytest.approx(2.0, rel=0.02)
+
+
+def test_locks_serialize_across_contexts():
+    order = []
+
+    def factory(tid, team):
+        yield Lock(0)
+        order.append(("in", tid))
+        yield Compute(500)
+        order.append(("out", tid))
+        yield Unlock(0)
+
+    m = Machine(smt_config(cores=2, smt=2))
+    m.run_parallel([factory] * 4, spawn_overhead=False)
+    for i in range(0, len(order), 2):
+        assert order[i][1] == order[i + 1][1]
+
+
+def test_barrier_across_contexts():
+    phases = []
+
+    def factory(tid, team):
+        yield Compute(100 * (tid + 1))
+        phases.append(("before", tid))
+        yield BarrierWait(0)
+        phases.append(("after", tid))
+
+    m = Machine(smt_config(cores=2, smt=2))
+    m.run_parallel([factory] * 4, spawn_overhead=False)
+    before = [i for i, p in enumerate(phases) if p[0] == "before"]
+    after = [i for i, p in enumerate(phases) if p[0] == "after"]
+    assert max(before) < min(after)
+
+
+def test_fdt_conclusions_hold_with_smt():
+    """Section 9's claim: on an SMT machine, FDT still curtails the
+    CS-limited kernel to a few threads rather than using all 64 slots."""
+    cfg = MachineConfig.asplos08_baseline().with_smt(2)
+    res = run_application(get("PageMine").build(0.2),
+                          FdtPolicy(FdtMode.SAT), cfg)
+    assert res.kernel_infos[0].threads <= 8
+
+    baseline = run_application(get("PageMine").build(0.2),
+                               StaticPolicy(64), cfg)
+    assert res.cycles < 0.6 * baseline.cycles
+    assert res.power < 0.4 * baseline.power
+
+
+def test_compact_placement_fills_contexts_first():
+    from dataclasses import replace
+    cfg = replace(smt_config(cores=4, smt=2), smt_placement="compact")
+    m = Machine(cfg)
+    assert [m.core_of_agent(a) for a in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+    assert [m.context_of_agent(a) for a in range(8)] == [0, 1] * 4
+
+
+def test_compact_placement_halves_active_cores():
+    from dataclasses import replace
+
+    def factory(tid, team):
+        yield Compute(100_000)
+
+    scatter = Machine(smt_config(cores=4, smt=2))
+    s0 = scatter.snapshot()
+    scatter.run_parallel([factory] * 4, spawn_overhead=False)
+    r_scatter = scatter.result_since(s0)
+
+    compact = Machine(replace(smt_config(cores=4, smt=2),
+                              smt_placement="compact"))
+    c0 = compact.snapshot()
+    compact.run_parallel([factory] * 4, spawn_overhead=False)
+    r_compact = compact.result_since(c0)
+
+    # Compact: 4 threads on 2 cores (half the power, double the time).
+    assert r_compact.power == pytest.approx(2.0, rel=0.05)
+    assert r_scatter.power == pytest.approx(4.0, rel=0.05)
+    assert r_compact.cycles == pytest.approx(2 * r_scatter.cycles, rel=0.05)
+
+
+def test_invalid_placement_rejected():
+    from dataclasses import replace
+    with pytest.raises(ConfigError):
+        replace(smt_config(), smt_placement="diagonal")

@@ -1,0 +1,91 @@
+"""Unit tests for the workload registry and shared helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.ops import Compute, Load, Store
+from repro.workloads import Category, all_specs, by_category, get
+from repro.workloads.base import (
+    AddressSpace,
+    scan_block,
+    update_block,
+    write_block,
+)
+
+
+def test_all_twelve_workloads_registered():
+    names = [s.name for s in all_specs()]
+    assert names == ["PageMine", "ISort", "GSearch", "EP",
+                     "ED", "convert", "Transpose", "MTwister",
+                     "BT", "MG", "BScholes", "SConv"]
+
+
+def test_categories_match_table2():
+    assert [s.name for s in by_category(Category.CS_LIMITED)] == [
+        "PageMine", "ISort", "GSearch", "EP"]
+    assert [s.name for s in by_category(Category.BW_LIMITED)] == [
+        "ED", "convert", "Transpose", "MTwister"]
+    assert [s.name for s in by_category(Category.SCALABLE)] == [
+        "BT", "MG", "BScholes", "SConv"]
+
+
+def test_get_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get("NotAWorkload")
+
+
+def test_every_spec_has_paper_input():
+    for spec in all_specs():
+        assert spec.paper_input
+        assert spec.repro_input
+        assert spec.description
+
+
+def test_address_space_regions_are_disjoint():
+    space = AddressSpace()
+    a = space.alloc(1000)
+    b = space.alloc(64)
+    c = space.alloc(1)
+    assert a + 1000 <= b
+    assert b + 64 <= c
+
+
+def test_address_space_alignment():
+    space = AddressSpace()
+    space.alloc(3)
+    b = space.alloc(64)
+    assert b % 64 == 0
+
+
+def test_address_space_rejects_empty_alloc():
+    with pytest.raises(WorkloadError):
+        AddressSpace().alloc(0)
+
+
+def test_scan_block_covers_every_line():
+    ops = list(scan_block(base=0, nbytes=256, instr_per_line=10))
+    loads = [op for op in ops if isinstance(op, Load)]
+    assert [op.addr for op in loads] == [0, 64, 128, 192]
+    computes = [op for op in ops if isinstance(op, Compute)]
+    assert len(computes) == 4
+
+
+def test_scan_block_zero_compute_emits_loads_only():
+    ops = list(scan_block(base=0, nbytes=128, instr_per_line=0))
+    assert all(isinstance(op, Load) for op in ops)
+
+
+def test_write_block_stores_every_line():
+    ops = list(write_block(base=128, nbytes=128, instr_per_line=5))
+    stores = [op for op in ops if isinstance(op, Store)]
+    assert [op.addr for op in stores] == [128, 192]
+
+
+def test_update_block_is_read_modify_write():
+    ops = list(update_block(base=0, nbytes=64, instr_per_line=5))
+    assert isinstance(ops[0], Load)
+    assert isinstance(ops[1], Compute)
+    assert isinstance(ops[2], Store)
+    assert ops[0].addr == ops[2].addr

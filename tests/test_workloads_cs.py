@@ -1,0 +1,210 @@
+"""Functional tests for the synchronization-limited workloads.
+
+Each workload performs its real computation while emitting ops; running
+the kernel to completion must produce the algorithm's correct answer,
+and the op streams must have the structural properties (critical
+sections, barriers) the paper's Figure 1 pattern requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import run_application
+from repro.isa.ops import BarrierWait, Lock, Unlock
+from repro.isa.program import validate_program
+from repro.sim.config import MachineConfig
+from repro.workloads.ep import EpKernel, EpParams, _lcg_block
+from repro.workloads.gsearch import GSearchKernel, GSearchParams
+from repro.workloads.isort import ISortKernel, ISortParams
+from repro.workloads.pagemine import PageMineKernel, PageMineParams
+
+
+def small_cfg() -> MachineConfig:
+    return MachineConfig.small()
+
+
+# -- PageMine -----------------------------------------------------------------
+
+def test_pagemine_histogram_is_correct_serially():
+    kernel = PageMineKernel(PageMineParams(num_pages=10, page_bytes=1024))
+    for page in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(page):
+            pass
+    np.testing.assert_array_equal(kernel.global_histogram,
+                                  kernel.expected_histogram())
+
+
+def test_pagemine_histogram_is_correct_with_team():
+    kernel = PageMineKernel(PageMineParams(num_pages=8, page_bytes=1024))
+    from repro.fdt.runner import Application
+    app = Application.single(kernel)
+    run_application(app, StaticPolicy(4), small_cfg())
+    np.testing.assert_array_equal(kernel.global_histogram,
+                                  kernel.expected_histogram())
+
+
+def test_pagemine_iteration_is_well_formed():
+    kernel = PageMineKernel(PageMineParams(num_pages=2))
+    ops = validate_program(kernel.serial_iteration(0))
+    assert sum(1 for op in ops if isinstance(op, Lock)) == 1
+    assert sum(1 for op in ops if isinstance(op, BarrierWait)) == 1
+
+
+def test_pagemine_team_splits_the_page():
+    kernel = PageMineKernel(PageMineParams(num_pages=2))
+    t0 = list(kernel.team_iteration(0, 0, 4))
+    t3 = list(kernel.team_iteration(0, 3, 4))
+    from repro.isa.ops import Load
+    loads0 = {op.addr for op in t0 if isinstance(op, Load)}
+    loads3 = {op.addr for op in t3 if isinstance(op, Load)}
+    # Page slices touch disjoint page lines; both merge into the shared
+    # histogram lines, so only those addresses may overlap.
+    page_overlap = {a for a in loads0 & loads3 if a < kernel._locals_base}
+    assert not page_overlap
+
+
+def test_pagemine_cs_work_is_team_size_independent():
+    """Each thread's merge is the full histogram regardless of team size
+    (the property that makes total CS time linear in threads)."""
+    kernel = PageMineKernel(PageMineParams(num_pages=2))
+    for team in (1, 4, 8):
+        ops = list(kernel.team_iteration(0, 0, team))
+        in_cs = 0
+        depth = 0
+        for op in ops:
+            if isinstance(op, Lock):
+                depth += 1
+            elif isinstance(op, Unlock):
+                depth -= 1
+            elif depth:
+                in_cs += 1
+        assert in_cs == 24  # 8 lines x (local load + compute + RFO store)
+
+
+def test_pagemine_rejects_bad_params():
+    with pytest.raises(WorkloadError):
+        PageMineParams(num_pages=0)
+    with pytest.raises(WorkloadError):
+        PageMineParams(page_bytes=32)
+
+
+def test_pagemine_page_size_changes_parallel_work():
+    small = PageMineKernel(PageMineParams(num_pages=1, page_bytes=1024))
+    large = PageMineKernel(PageMineParams(num_pages=1, page_bytes=8192))
+    n_small = len(list(small.serial_iteration(0)))
+    n_large = len(list(large.serial_iteration(0)))
+    assert n_large > 4 * n_small
+
+
+# -- ISort ----------------------------------------------------------------------
+
+def test_isort_buckets_match_real_sort():
+    kernel = ISortKernel(ISortParams(num_keys=4096, num_passes=4))
+    from repro.fdt.runner import Application
+    run_application(Application.single(kernel), StaticPolicy(4), small_cfg())
+    np.testing.assert_array_equal(kernel.ranked_keys(),
+                                  kernel.expected_sorted())
+
+
+def test_isort_first_pass_only_counts_once():
+    kernel = ISortKernel(ISortParams(num_keys=2048, num_passes=3))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    assert int(kernel.global_buckets.sum()) == 2048
+
+
+def test_isort_iterations_are_well_formed():
+    kernel = ISortKernel(ISortParams(num_keys=2048, num_passes=2))
+    for i in (0, kernel.total_iterations - 1):
+        validate_program(kernel.serial_iteration(i))
+
+
+def test_isort_rejects_bad_params():
+    with pytest.raises(WorkloadError):
+        ISortParams(num_keys=8, tiles_per_pass=12)
+    with pytest.raises(WorkloadError):
+        ISortParams(num_passes=0)
+
+
+# -- GSearch --------------------------------------------------------------------
+
+def test_gsearch_bfs_reaches_every_node():
+    kernel = GSearchKernel(GSearchParams(num_nodes=512))
+    assert kernel.nodes_expanded() == 512
+
+
+def test_gsearch_batches_respect_batch_size():
+    params = GSearchParams(num_nodes=512, batch_size=32)
+    kernel = GSearchKernel(params)
+    assert all(len(batch) <= 32 for batch, _d in kernel.batches)
+
+
+def test_gsearch_has_two_critical_sections():
+    kernel = GSearchKernel(GSearchParams(num_nodes=256))
+    ops = validate_program(kernel.serial_iteration(0))
+    lock_ids = [op.lock_id for op in ops if isinstance(op, Lock)]
+    assert sorted(set(lock_ids)) == [0, 1]
+
+
+def test_gsearch_visited_count_tracks_execution():
+    kernel = GSearchKernel(GSearchParams(num_nodes=256))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    assert kernel.visited_count == 256
+
+
+def test_gsearch_discovery_varies_across_iterations():
+    kernel = GSearchKernel(GSearchParams(num_nodes=2048))
+    discovered = [d for _b, d in kernel.batches]
+    assert max(discovered) > min(discovered)
+
+
+def test_gsearch_graph_is_deterministic():
+    a = GSearchKernel(GSearchParams(num_nodes=256, seed=5))
+    b = GSearchKernel(GSearchParams(num_nodes=256, seed=5))
+    assert [len(x) for x, _ in a.batches] == [len(x) for x, _ in b.batches]
+
+
+# -- EP ----------------------------------------------------------------------------
+
+def test_lcg_jump_ahead_matches_sequential():
+    seq = _lcg_block(seed=99, start=0, count=50)
+    jumped = _lcg_block(seed=99, start=25, count=25)
+    np.testing.assert_allclose(seq[25:], jumped)
+
+
+def test_ep_tally_matches_direct_evaluation():
+    kernel = EpKernel(EpParams(num_numbers=8192, block_size=1024))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    np.testing.assert_array_equal(kernel.tally, kernel.expected_tally())
+
+
+def test_ep_tally_is_team_size_invariant():
+    cfg = small_cfg()
+    from repro.fdt.runner import Application
+    k2 = EpKernel(EpParams(num_numbers=8192, block_size=1024))
+    run_application(Application.single(k2), StaticPolicy(4), cfg)
+    np.testing.assert_array_equal(k2.tally, k2.expected_tally())
+
+
+def test_ep_values_uniform_ish():
+    kernel = EpKernel(EpParams(num_numbers=16384, block_size=2048))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    # Each decade should hold roughly a tenth of the numbers.
+    frac = kernel.tally / kernel.tally.sum()
+    assert np.all(frac > 0.05) and np.all(frac < 0.15)
+
+
+def test_ep_rejects_bad_params():
+    with pytest.raises(WorkloadError):
+        EpParams(num_numbers=100, block_size=1024)

@@ -1,0 +1,168 @@
+"""Functional tests for the scalable workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import Application, run_application
+from repro.isa.ops import BarrierWait, Load, Lock, Store
+from repro.sim.config import MachineConfig
+from repro.workloads.bscholes import BScholesKernel, BScholesParams
+from repro.workloads.bt import BtKernel, BtParams
+from repro.workloads.mg import MgInitKernel, MgKernel, MgParams
+from repro.workloads.sconv import _State as SConvState
+from repro.workloads.sconv import SConvParams, _PassKernel
+
+
+def small_cfg() -> MachineConfig:
+    return MachineConfig.small()
+
+
+# -- BT -------------------------------------------------------------------------
+
+def test_bt_relaxation_smooths_field():
+    kernel = BtKernel(BtParams(grid=8, time_steps=10))
+    rough_before = float(np.abs(np.diff(kernel.field, axis=0)).sum())
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    rough_after = float(np.abs(np.diff(kernel.field, axis=0)).sum())
+    assert rough_after < rough_before
+
+
+def test_bt_has_no_critical_sections():
+    kernel = BtKernel(BtParams(grid=8, time_steps=2))
+    ops = list(kernel.serial_iteration(1))
+    assert not any(isinstance(op, Lock) for op in ops)
+    assert any(isinstance(op, BarrierWait) for op in ops)
+
+
+def test_bt_iterations_cover_planes_of_steps():
+    kernel = BtKernel(BtParams(grid=8, time_steps=5))
+    # 5 steps x 8 planes x 2 slabs per plane.
+    assert kernel.total_iterations == 80
+
+
+def test_bt_rejects_bad_params():
+    with pytest.raises(WorkloadError):
+        BtParams(grid=2)
+    with pytest.raises(WorkloadError):
+        BtParams(time_steps=0)
+
+
+# -- MG --------------------------------------------------------------------------
+
+def test_mg_app_has_init_then_solver():
+    from repro.workloads import get
+    app = get("MG").build(0.34)
+    assert isinstance(app.kernels[0], MgInitKernel)
+    assert isinstance(app.kernels[1], MgKernel)
+
+
+def test_mg_vcycle_schedule_descends_and_ascends():
+    kernel = MgKernel(MgParams(fine_grid=16, levels=3, v_cycles=1))
+    levels = [lvl for lvl, _p, _s in kernel._schedule]
+    assert levels[0] == 0
+    assert max(levels) == 2
+    # One V-cycle: down 0,1,2 then back up 1,0 (per-plane expanded).
+    assert levels[-1] == 0
+
+
+def test_mg_smoothing_reduces_norm():
+    kernel = MgKernel(MgParams(fine_grid=16, levels=2, v_cycles=3))
+    run_application(Application(name="mg", kernels=(kernel,)),
+                    StaticPolicy(2), small_cfg())
+    assert len(kernel.norms) >= 2
+    assert kernel.norms[-1] < kernel.norms[0]
+
+
+def test_mg_iteration_sizes_vary_by_level():
+    kernel = MgKernel(MgParams(fine_grid=16, levels=3, v_cycles=1))
+    fine = len(list(kernel.serial_iteration(0)))
+    coarse_idx = next(i for i, (lvl, _p, _s) in enumerate(kernel._schedule)
+                      if lvl == 2)
+    coarse = len(list(kernel.serial_iteration(coarse_idx)))
+    assert fine > coarse
+
+
+def test_mg_rejects_too_many_levels():
+    with pytest.raises(WorkloadError):
+        MgParams(fine_grid=16, levels=4)  # coarsest would be 2^3
+
+
+# -- BScholes ------------------------------------------------------------------------
+
+def test_bscholes_put_call_parity():
+    kernel = BScholesKernel(BScholesParams(num_options=1024))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    r = kernel.params.riskfree
+    lhs = kernel.call - kernel.put
+    rhs = kernel.spot - kernel.strike * np.exp(-r * kernel.expiry)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-8)
+
+
+def test_bscholes_call_prices_bounded():
+    kernel = BScholesKernel(BScholesParams(num_options=512))
+    for i in range(kernel.total_iterations):
+        for _op in kernel.serial_iteration(i):
+            pass
+    assert np.all(kernel.call >= -1e-12)
+    assert np.all(kernel.call <= kernel.spot + 1e-12)
+
+
+def test_bscholes_reads_five_arrays_writes_two():
+    kernel = BScholesKernel(BScholesParams(num_options=512))
+    ops = list(kernel.serial_iteration(0))
+    loads = {op.addr for op in ops if isinstance(op, Load)}
+    stores = {op.addr for op in ops if isinstance(op, Store)}
+    assert len(loads) == 5 * 2  # 32 options x 4 B = 2 lines per array
+    assert len(stores) == 2 * 2
+
+
+def test_bscholes_rejects_tiny_input():
+    with pytest.raises(WorkloadError):
+        BScholesParams(num_options=8)
+
+
+# -- SConv ------------------------------------------------------------------------------
+
+def test_sconv_two_pass_matches_direct_convolution():
+    state = SConvState(SConvParams(size=128, radius=8))
+    for kernel in (_PassKernel(state, 0), _PassKernel(state, 1)):
+        for i in range(kernel.total_iterations):
+            for _op in kernel.serial_iteration(i):
+                pass
+    np.testing.assert_allclose(state.output, state.expected(), atol=1e-10)
+
+
+def test_sconv_kernel_is_normalized():
+    state = SConvState(SConvParams(size=128, radius=8))
+    assert float(state.kernel.sum()) == pytest.approx(1.0)
+
+
+def test_sconv_row_pass_reads_input_writes_temp():
+    state = SConvState(SConvParams(size=128, radius=8))
+    ops = list(_PassKernel(state, 0).serial_iteration(0))
+    loads = {op.addr for op in ops if isinstance(op, Load)}
+    stores = {op.addr for op in ops if isinstance(op, Store)}
+    assert all(state.in_base <= a < state.tmp_base for a in loads)
+    assert all(state.tmp_base <= a < state.out_base for a in stores)
+
+
+def test_sconv_build_shrinks_radius_with_image():
+    from repro.workloads import get
+    app = get("SConv").build(0.25)  # 128-px image
+    state = app.kernels[0].state  # type: ignore[attr-defined]
+    assert state.params.radius <= state.params.size // 4
+
+
+def test_sconv_rejects_bad_params():
+    with pytest.raises(WorkloadError):
+        SConvParams(size=8)
+    with pytest.raises(WorkloadError):
+        SConvParams(radius=0)
