@@ -8,7 +8,10 @@ in a terminal or a log file.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.check.findings import CheckReport
 
 
 def gmean(values: Iterable[float]) -> float:
@@ -41,6 +44,42 @@ def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
     for row in str_rows:
         lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_findings(report: "CheckReport") -> str:
+    """Render a ``repro check`` report for a terminal.
+
+    A clean report is one line; otherwise findings are grouped under a
+    per-analysis count summary, each with its one-line message and the
+    most useful structured details indented below it.
+    """
+    head = f"repro check: {report.workload} ({report.threads} threads)"
+    if report.clean:
+        return (f"{head}\nOK - no findings "
+                f"({report.cycles:,} cycles checked)")
+
+    counts = {k: v for k, v in report.counts().items() if v}
+    summary = ", ".join(f"{v} {k}" for k, v in counts.items())
+    lines = [head, f"FAIL - {len(report.findings)} finding(s): {summary}"]
+    if report.aborted is not None:
+        lines.append(f"(the checked run aborted: {report.aborted})")
+    for i, finding in enumerate(report.findings, 1):
+        lines.append(f"{i:3d}. [{finding.analysis}/{finding.kind}] "
+                     f"{finding.message}")
+        sites = finding.details.get("sites")
+        if sites:
+            for site in sites:
+                lines.append(f"       site: agent {site['agent']} "
+                             f"{site['kind']} #{site['index']} "
+                             f"@ cycle {site['cycle']}")
+        cycle = finding.details.get("cycle")
+        if finding.kind == "lock-order-cycle" and cycle:
+            lines.append("       order: "
+                         + " -> ".join(str(lock) for lock in cycle))
+    if report.dropped:
+        lines.append(f"(+{report.dropped} finding(s) dropped by the "
+                     f"max_findings cap)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,46 @@
+"""Thread sanitizer for simulated programs (``repro check``).
+
+FDT trusts counter measurements taken while a kernel executes; a kernel
+with a data race or a latent deadlock feeds the training stage garbage
+``T_CS``/``BU_1`` samples and silently wrong thread counts.  This
+package is the correctness gate in front of that pipeline:
+
+* :mod:`repro.check.lockset` — Eraser-style lockset race detection;
+* :mod:`repro.check.lockorder` — lock-order (potential deadlock) cycles;
+* :mod:`repro.check.discipline` — lock/barrier/counter discipline lint.
+
+Attach a :class:`~repro.sim.config.SanitizerConfig` to a
+:class:`~repro.sim.config.MachineConfig` to observe any run, or use
+:func:`check_application` / :func:`check_workload` (the ``repro check``
+CLI entry) for a one-call verdict.
+"""
+
+from repro.check.events import SanitizerHooks
+from repro.check.findings import (
+    ANALYSES,
+    DISCIPLINE,
+    LOCK_ORDER,
+    RACE,
+    RUNTIME,
+    AccessSite,
+    CheckReport,
+    Finding,
+)
+from repro.check.runner import DEFAULT_THREADS, check_application, check_workload
+from repro.check.sanitizer import ThreadSanitizer
+
+__all__ = [
+    "ANALYSES",
+    "DISCIPLINE",
+    "LOCK_ORDER",
+    "RACE",
+    "RUNTIME",
+    "AccessSite",
+    "CheckReport",
+    "DEFAULT_THREADS",
+    "Finding",
+    "SanitizerHooks",
+    "ThreadSanitizer",
+    "check_application",
+    "check_workload",
+]

@@ -1,0 +1,79 @@
+"""The event-emission hook interface between the simulator and the sanitizer.
+
+The machine components (:class:`~repro.sim.core.Core`,
+:class:`~repro.runtime.locks.LockManager`,
+:class:`~repro.runtime.barriers.BarrierManager`,
+:class:`~repro.sim.machine.Machine`) call these hooks at synchronization
+and memory events, guarded by a single ``is None`` test — the whole cost
+when no sanitizer is attached.  Hooks are pure observers: they must not
+schedule events or mutate machine state, so simulated timing is
+bit-identical with a sanitizer on or off.
+
+``agent`` is always the hardware thread slot (the id locks and barriers
+are keyed by); ``now`` is the machine cycle at which the issuing event is
+processed.
+"""
+
+from __future__ import annotations
+
+from repro.isa.ops import CounterKind
+
+
+class SanitizerHooks:
+    """No-op base implementation of every hook.
+
+    Subclass and override what you need; :class:`repro.check.sanitizer.
+    ThreadSanitizer` overrides all of them.  Keeping a concrete no-op
+    base (rather than an ABC) lets tests attach partial observers.
+    """
+
+    # -- region lifecycle --------------------------------------------------
+
+    def on_region_begin(self, num_threads: int, now: int) -> None:
+        """A parallel region with ``num_threads`` threads is starting."""
+
+    def on_region_end(self, now: int) -> None:
+        """The region completed (not called when the run aborts)."""
+
+    def on_thread_exit(self, agent: int, now: int) -> None:
+        """``agent``'s program is exhausted."""
+
+    # -- memory ------------------------------------------------------------
+
+    def on_access(self, agent: int, addr: int, is_store: bool,
+                  now: int) -> None:
+        """``agent`` issued a load (``is_store=False``) or store."""
+
+    # -- locks ---------------------------------------------------------------
+
+    def on_lock_request(self, lock_id: int, agent: int, now: int) -> None:
+        """``agent`` issued a Lock op (grant may come later, or never)."""
+
+    def on_lock_acquired(self, lock_id: int, agent: int, now: int) -> None:
+        """The lock manager made ``agent`` the holder of ``lock_id``."""
+
+    def on_unlock_request(self, lock_id: int, agent: int, now: int) -> None:
+        """``agent`` issued an Unlock op (called before validation, so it
+        fires even when the release is about to abort the run)."""
+
+    def on_lock_released(self, lock_id: int, agent: int, now: int) -> None:
+        """``agent`` released ``lock_id`` (validation passed)."""
+
+    # -- barriers ---------------------------------------------------------------
+
+    def on_barrier_arrive(self, barrier_id: int, agent: int,
+                          team_size: int, now: int) -> None:
+        """``agent`` arrived at ``barrier_id`` expecting ``team_size``."""
+
+    def on_barrier_release(self, barrier_id: int, agents: list[int],
+                           now: int) -> None:
+        """The last arriver completed a generation; ``agents`` lists every
+        participant.  All pre-barrier hooks of the participants have
+        already fired, and all their post-barrier hooks fire later, so
+        this is a happens-before fence for the race detector."""
+
+    # -- counters ------------------------------------------------------------------
+
+    def on_read_counter(self, agent: int, kind: CounterKind,
+                        now: int) -> None:
+        """``agent`` read a performance counter."""

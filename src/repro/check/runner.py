@@ -1,0 +1,108 @@
+"""Run the thread sanitizer over an application or a named workload.
+
+``repro check`` builds a machine with a :class:`~repro.sim.config.
+SanitizerConfig` attached, executes the workload under a static team
+(training is irrelevant here — the sanitizer watches the execution
+stream), and collects the findings.  Runs that abort (a deadlocked event
+queue, an unlock the lock manager refuses) are themselves reported as a
+``runtime`` finding, so a crashing workload can never look clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.check.findings import RUNTIME, CheckReport, Finding
+from repro.errors import DeadlockError, SimulationError, WorkloadError
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import Application
+from repro.sim.config import MachineConfig, SanitizerConfig
+from repro.sim.machine import Machine
+
+#: Default team size for checks.  Races and ordering violations need at
+#: least two threads; four keeps the run cheap while exercising real
+#: contention on every lock and barrier.
+DEFAULT_THREADS = 4
+
+
+def check_application(app: Application,
+                      config: MachineConfig | None = None,
+                      threads: int = DEFAULT_THREADS,
+                      sanitizer: SanitizerConfig | None = None) -> CheckReport:
+    """Run every kernel of ``app`` under the sanitizer; report findings.
+
+    Args:
+        app: the application to check.
+        config: machine to check on (baseline Table 1 machine if None);
+            any sanitizer already attached to it is replaced.
+        threads: static team size for the checked run (>= 2 to give the
+            race detector something to see).
+        sanitizer: analysis knobs; defaults to everything on.
+
+    Returns:
+        A :class:`~repro.check.findings.CheckReport`; ``report.clean``
+        is True when nothing was found and the run completed.
+    """
+    base = config or MachineConfig.asplos08_baseline()
+    san_config = sanitizer or SanitizerConfig()
+    if not san_config.enabled:
+        san_config = replace(san_config, enabled=True)
+    machine = Machine(replace(base, sanitizer=san_config))
+    assert machine.sanitizer is not None  # enabled config => attached
+    policy = StaticPolicy(max(2, min(threads, base.num_thread_slots)))
+
+    aborted: str | None = None
+    try:
+        for kernel in app.kernels:
+            policy.run_kernel(machine, kernel)
+    except (DeadlockError, SimulationError) as exc:
+        aborted = str(exc)
+
+    findings = list(machine.sanitizer.finish())
+    if aborted is not None:
+        findings.append(Finding(
+            analysis=RUNTIME,
+            kind="aborted",
+            message=f"the checked run aborted: {aborted}",
+            details={"error": aborted},
+        ))
+    return CheckReport(
+        workload=app.name,
+        threads=policy.threads or base.num_cores,
+        findings=tuple(findings),
+        aborted=aborted,
+        cycles=machine.now,
+        dropped=machine.sanitizer.dropped,
+    )
+
+
+def check_workload(name: str, scale: float = 0.5,
+                   config: MachineConfig | None = None,
+                   threads: int = DEFAULT_THREADS,
+                   sanitizer: SanitizerConfig | None = None) -> CheckReport:
+    """Check a workload by name: a Table 2 entry or a synthetic fixture.
+
+    Fixture names (``synthetic-racy``, ``synthetic-lock-inversion``,
+    ``synthetic-unheld-unlock``) resolve to the sanitizer's positive
+    controls; anything else is looked up in the Table 2 registry.
+
+    Raises:
+        WorkloadError: unknown name.
+    """
+    from repro.workloads import get
+    from repro.workloads.synthetic import sanitizer_fixtures
+
+    fixtures = sanitizer_fixtures()
+    if name in fixtures:
+        app = fixtures[name](scale)
+    else:
+        try:
+            spec = get(name)
+        except WorkloadError:
+            known = ", ".join(sorted(fixtures))
+            raise WorkloadError(
+                f"unknown workload {name!r} (sanitizer fixtures: {known}; "
+                f"run 'repro list' for the Table 2 roster)") from None
+        app = spec.build(scale)
+    return check_application(app, config=config, threads=threads,
+                             sanitizer=sanitizer)

@@ -1,0 +1,155 @@
+"""The thread sanitizer: one observer dispatching machine events to the
+three analyses (races, lock order, discipline).
+
+A :class:`ThreadSanitizer` is attached by :class:`~repro.sim.machine.
+Machine` when its config carries an enabled
+:class:`~repro.sim.config.SanitizerConfig`.  It owns the cross-analysis
+state every check needs:
+
+* the per-agent stack of held locks (from the lock manager's
+  acquired/released events, which are authoritative);
+* the barrier epoch — bumped at region boundaries and full-team barrier
+  releases, the happens-before fences of this runtime;
+* per-agent access ordinals, so race findings can name their sites.
+"""
+
+from __future__ import annotations
+
+from repro.check.discipline import DisciplineLinter
+from repro.check.events import SanitizerHooks
+from repro.check.findings import AccessSite, Finding
+from repro.check.lockorder import LockOrderAnalyzer
+from repro.check.lockset import LocksetRaceDetector
+from repro.isa.ops import CounterKind
+from repro.sim.config import SanitizerConfig
+
+_EMPTY: frozenset[int] = frozenset()
+_NO_LOCKS: list[int] = []
+
+
+class ThreadSanitizer(SanitizerHooks):
+    """Dispatches simulator events to the configured analyses."""
+
+    def __init__(self, config: SanitizerConfig | None = None) -> None:
+        self.config = config or SanitizerConfig()
+        self.races = LocksetRaceDetector(self.config)
+        self.lock_order = LockOrderAnalyzer(self.config)
+        self.discipline = DisciplineLinter(self.config)
+        #: Held-lock stack per agent, in acquisition order.
+        self._held: dict[int, list[int]] = {}
+        #: Frozen copy of each held stack, for cheap lockset intersection.
+        self._held_sets: dict[int, frozenset[int]] = {}
+        #: Barrier epoch: accesses in different epochs cannot race.
+        self._epoch = 0
+        #: Per-agent access ordinal (1-based), for site reporting.
+        self._access_no: dict[int, int] = {}
+
+    # -- shared state helpers ----------------------------------------------
+
+    def held_locks(self, agent: int) -> list[int]:
+        """The lock ids ``agent`` currently holds, outermost first."""
+        return list(self._held.get(agent, _NO_LOCKS))
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # -- region lifecycle -----------------------------------------------------
+
+    def on_region_begin(self, num_threads: int, now: int) -> None:
+        self._epoch += 1
+        if self.config.discipline:
+            self.discipline.on_region_begin()
+
+    def on_region_end(self, now: int) -> None:
+        self._epoch += 1
+
+    def on_thread_exit(self, agent: int, now: int) -> None:
+        held = self._held.get(agent, _NO_LOCKS)
+        if self.config.discipline:
+            self.discipline.on_thread_exit(agent, held, now)
+        if held:
+            self._held[agent] = []
+            self._held_sets[agent] = _EMPTY
+
+    # -- memory ----------------------------------------------------------------
+
+    def on_access(self, agent: int, addr: int, is_store: bool,
+                  now: int) -> None:
+        if not self.config.races:
+            return
+        ordinal = self._access_no.get(agent, 0) + 1
+        self._access_no[agent] = ordinal
+        site = AccessSite(agent=agent, index=ordinal,
+                          kind="store" if is_store else "load", cycle=now)
+        self.races.on_access(agent, addr, is_store, self._epoch,
+                             self._held_sets.get(agent, _EMPTY), site)
+
+    # -- locks --------------------------------------------------------------------
+
+    def on_lock_request(self, lock_id: int, agent: int, now: int) -> None:
+        held = self._held.get(agent, _NO_LOCKS)
+        if self.config.lock_order and held:
+            self.lock_order.on_lock_request(lock_id, agent, held, now)
+        if self.config.discipline:
+            self.discipline.on_lock_request(lock_id, agent, held, now)
+
+    def on_lock_acquired(self, lock_id: int, agent: int, now: int) -> None:
+        stack = self._held.setdefault(agent, [])
+        stack.append(lock_id)
+        self._held_sets[agent] = frozenset(stack)
+
+    def on_unlock_request(self, lock_id: int, agent: int, now: int) -> None:
+        if self.config.discipline:
+            self.discipline.on_unlock_request(
+                lock_id, agent, self._held.get(agent, _NO_LOCKS), now)
+
+    def on_lock_released(self, lock_id: int, agent: int, now: int) -> None:
+        stack = self._held.get(agent)
+        if stack and lock_id in stack:
+            stack.remove(lock_id)
+            self._held_sets[agent] = frozenset(stack)
+
+    # -- barriers ----------------------------------------------------------------
+
+    def on_barrier_arrive(self, barrier_id: int, agent: int,
+                          team_size: int, now: int) -> None:
+        if self.config.discipline:
+            self.discipline.on_barrier_arrive(barrier_id, agent,
+                                              team_size, now)
+
+    def on_barrier_release(self, barrier_id: int, agents: list[int],
+                           now: int) -> None:
+        # Every participant's pre-barrier accesses have been observed and
+        # all post-barrier ones come later: a happens-before fence.
+        self._epoch += 1
+        if self.config.discipline:
+            self.discipline.on_barrier_release(barrier_id, agents, now)
+
+    # -- counters ----------------------------------------------------------------
+
+    def on_read_counter(self, agent: int, kind: CounterKind,
+                        now: int) -> None:
+        if self.config.discipline:
+            self.discipline.on_read_counter(
+                agent, kind, self._held.get(agent, _NO_LOCKS), now)
+
+    # -- results ------------------------------------------------------------------
+
+    def finish(self) -> tuple[Finding, ...]:
+        """All findings, chronological per analysis: races and discipline
+        as observed, then lock-order cycles (computed from the final
+        graph), then incomplete-barrier diagnoses."""
+        findings: list[Finding] = list(self.races.findings)
+        if self.config.lock_order:
+            findings.extend(self.lock_order.finish())
+        if self.config.discipline:
+            self.discipline.finish()
+        findings.extend(self.discipline.findings)
+        return tuple(findings)
+
+    @property
+    def dropped(self) -> int:
+        """Findings suppressed by ``max_findings`` caps."""
+        return (self.races.dropped + self.lock_order.dropped
+                + self.discipline.dropped)

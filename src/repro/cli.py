@@ -8,9 +8,13 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep PageMine --threads 1,2,4,8,16,32
     python -m repro figure fig2                  # regenerate a figure
     python -m repro machine                      # Table 1 dump
+    python -m repro check PageMine               # thread-sanitize a workload
+    python -m repro check synthetic-racy --json  # positive control, JSON out
 
 Every command accepts ``--scale`` (input-set scaling) and the machine
-knobs ``--cores`` and ``--bandwidth``.
+knobs ``--cores`` and ``--bandwidth``.  ``check`` exits 0 when the
+workload is clean and 1 when the sanitizer found races, lock-order
+cycles, or discipline violations.
 """
 
 from __future__ import annotations
@@ -137,6 +141,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_findings
+    from repro.check.runner import check_workload
+
+    report = check_workload(
+        args.workload,
+        scale=args.scale,
+        config=_machine_config(args),
+        threads=args.threads,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(format_findings(report))
+    return 0 if report.clean else 1
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
     module_name, func_name = _FIGURES[args.name]
@@ -187,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated thread counts")
     add_machine_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_check = sub.add_parser(
+        "check",
+        help="thread-sanitize a workload (races, lock order, discipline)")
+    p_check.add_argument("workload",
+                         help="Table 2 workload name, or a sanitizer "
+                              "fixture (synthetic-racy, "
+                              "synthetic-lock-inversion, "
+                              "synthetic-unheld-unlock)")
+    p_check.add_argument("--threads", type=int, default=4,
+                         help="static team size for the checked run "
+                              "(default 4; clamped to >= 2)")
+    p_check.add_argument("--json", action="store_true",
+                         help="print the machine-readable findings report")
+    add_machine_args(p_check)
+    p_check.set_defaults(func=_cmd_check)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIGURES))

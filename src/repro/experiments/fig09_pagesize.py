@@ -16,7 +16,6 @@ from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
 from repro.fdt.policies import FdtMode, FdtPolicy
 from repro.fdt.runner import run_application
 from repro.sim.config import MachineConfig
-from repro.workloads import get
 from repro.workloads.pagemine import build as build_pagemine
 
 #: The paper's page-size axis (bytes), 1 KB - 25 KB.

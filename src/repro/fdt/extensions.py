@@ -26,9 +26,9 @@ from dataclasses import dataclass
 from repro.errors import TrainingError
 from repro.fdt.estimators import estimate
 from repro.fdt.kernel import Kernel
-from repro.fdt.policies import FdtMode, FdtPolicy, KernelRunInfo, ThreadingPolicy
+from repro.fdt.policies import KernelRunInfo, ThreadingPolicy
 from repro.fdt.training import TrainingConfig, TrainingLog, instrumented_training_program
-from repro.models import bat_model, sat_model
+from repro.models import sat_model
 from repro.sim.machine import Machine
 from repro.sim.stats import RunResult
 

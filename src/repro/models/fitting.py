@@ -10,7 +10,6 @@ and tests use it to pin the Figure 2/4 shapes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

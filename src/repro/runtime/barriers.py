@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> runtime cycle
+    from repro.check.events import SanitizerHooks
     from repro.sim.config import MachineConfig
     from repro.sim.ring import Ring
 
@@ -36,11 +37,14 @@ class BarrierManager:
     """All barriers of the machine."""
 
     def __init__(self, config: "MachineConfig", ring: "Ring",
-                 core_nodes: list[int]) -> None:
+                 core_nodes: list[int],
+                 hooks: "SanitizerHooks | None" = None) -> None:
         self._config = config
         self._ring = ring
         self._core_nodes = core_nodes
         self._barriers: dict[int, _BarrierState] = {}
+        #: Sanitizer observer (repro.check); never affects release timing.
+        self._hooks = hooks
         self.stats = BarrierStats()
 
     def arrive(self, barrier_id: int, core: int, team_size: int,
@@ -57,6 +61,8 @@ class BarrierManager:
         """
         if team_size < 1:
             raise SimulationError("barrier team size must be >= 1")
+        if self._hooks is not None:
+            self._hooks.on_barrier_arrive(barrier_id, core, team_size, now)
         st = self._barriers.get(barrier_id)
         if st is None:
             st = _BarrierState()
@@ -70,6 +76,9 @@ class BarrierManager:
 
         # Last arriver: release everyone.
         self.stats.episodes += 1
+        if self._hooks is not None:
+            self._hooks.on_barrier_release(
+                barrier_id, [c for c, _t in st.arrived], now)
         last_node = self._core_nodes[core]
         releases = []
         for c, arrived_at in st.arrived:

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 from repro.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> runtime cycle
+    from repro.check.events import SanitizerHooks
     from repro.sim.config import MachineConfig
     from repro.sim.ring import Ring
 
@@ -43,11 +44,14 @@ class LockManager:
     """All locks of the machine, granted in FIFO order."""
 
     def __init__(self, config: "MachineConfig", ring: "Ring",
-                 core_nodes: list[int]) -> None:
+                 core_nodes: list[int],
+                 hooks: "SanitizerHooks | None" = None) -> None:
         self._config = config
         self._ring = ring
         self._core_nodes = core_nodes
         self._locks: dict[int, _LockState] = {}
+        #: Sanitizer observer (repro.check); never affects grant timing.
+        self._hooks = hooks
         self.stats = LockStats()
 
     def _state(self, lock_id: int) -> _LockState:
@@ -78,6 +82,8 @@ class LockManager:
             st.holder = core
             st.acquired_at = grant
             self.stats.acquisitions += 1
+            if self._hooks is not None:
+                self._hooks.on_lock_acquired(lock_id, core, grant)
             return grant
         st.waiters.append((core, now))
         self.stats.contended_acquisitions += 1
@@ -99,6 +105,8 @@ class LockManager:
         self.stats.total_hold_cycles += now - st.acquired_at
         st.last_holder = core
         st.holder = None
+        if self._hooks is not None:
+            self._hooks.on_lock_released(lock_id, core, now)
         if not st.waiters:
             return None
         if self._config.lock_grant_order == "lifo":
@@ -110,6 +118,8 @@ class LockManager:
         st.acquired_at = grant
         self.stats.acquisitions += 1
         self.stats.total_wait_cycles += grant - enqueued
+        if self._hooks is not None:
+            self._hooks.on_lock_acquired(lock_id, next_core, grant)
         return next_core, grant
 
     def holder(self, lock_id: int) -> int | None:

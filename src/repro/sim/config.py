@@ -20,6 +20,50 @@ def _is_pow2(n: int) -> bool:
 
 
 @dataclass(frozen=True, slots=True)
+class SanitizerConfig:
+    """Knobs of the thread sanitizer (:mod:`repro.check`).
+
+    Attach one to :attr:`MachineConfig.sanitizer` (or use
+    :meth:`MachineConfig.with_sanitizer`) to have the machine record
+    synchronization events while programs execute.  The sanitizer is a
+    pure observer: it never schedules events or changes timing, so cycle
+    counts are identical with it on or off.  With no config attached
+    (the default) the hook sites reduce to one ``is None`` test per op.
+    """
+
+    #: Master switch; attaching a config with ``enabled=False`` keeps the
+    #: machine hook-free, exactly as if no config were attached.
+    enabled: bool = True
+    #: Run the Eraser-style lockset race detector.
+    races: bool = True
+    #: Build the acquires-while-holding graph and report lock-order cycles.
+    lock_order: bool = True
+    #: Run the lock/barrier discipline lint.
+    discipline: bool = True
+    #: Also report read-write conflicts (full Eraser).  Off by default:
+    #: op-stream workloads touch line-aligned representative addresses, so
+    #: a load and a store of the same line by different threads is usually
+    #: modelling false sharing, not a data race.  Write-write conflicts
+    #: are always reported.
+    report_read_write: bool = False
+    #: Half-open ``[lo, hi)`` byte ranges the race detector ignores —
+    #: the escape hatch for intentionally unprotected shared accesses.
+    ignore_address_ranges: tuple[tuple[int, int], ...] = ()
+    #: Cap on recorded findings per analysis (further ones are counted
+    #: but dropped from the report).
+    max_findings: int = 100
+
+    def __post_init__(self) -> None:
+        if self.max_findings < 1:
+            raise ConfigError("max_findings must be >= 1")
+        for pair in self.ignore_address_ranges:
+            if len(pair) != 2 or pair[0] >= pair[1]:
+                raise ConfigError(
+                    f"ignore_address_ranges entries must be (lo, hi) with "
+                    f"lo < hi, got {pair!r}")
+
+
+@dataclass(frozen=True, slots=True)
 class MachineConfig:
     """Parameters of the simulated CMP.
 
@@ -100,6 +144,11 @@ class MachineConfig:
     #: Lock grant order: "fifo" (queue, the default) or "lifo" (an
     #: unfair stack — the ablation of the serialization model).
     lock_grant_order: str = "fifo"
+
+    # -- sanitizer ---------------------------------------------------------------
+    #: Thread-sanitizer knobs (:mod:`repro.check`); None (the default)
+    #: builds a machine with no observer attached.
+    sanitizer: SanitizerConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -200,3 +249,8 @@ class MachineConfig:
     def with_smt(self, smt_threads: int) -> "MachineConfig":
         """Return a config with SMT contexts per core (Section 9)."""
         return replace(self, smt_threads=smt_threads)
+
+    def with_sanitizer(self,
+                       sanitizer: SanitizerConfig | None = None) -> "MachineConfig":
+        """Return a config with the thread sanitizer attached."""
+        return replace(self, sanitizer=sanitizer or SanitizerConfig())

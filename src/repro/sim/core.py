@@ -118,6 +118,9 @@ class Core:
         ctx.state = CoreState.IDLE
         if agent_id is None:  # pragma: no cover - defensive
             raise SimulationError("finished a thread that never started")
+        san = self.machine.sanitizer
+        if san is not None:
+            san.on_thread_exit(agent_id, self.machine.events.now)
         self.machine.on_thread_finished(self.core_id, agent_id)
 
     # -- execution loop ---------------------------------------------------------
@@ -155,6 +158,9 @@ class Core:
             return
 
         if type(op) is Load or type(op) is Store:
+            san = machine.sanitizer
+            if san is not None and ctx.agent_id is not None:
+                san.on_access(ctx.agent_id, op.addr, type(op) is Store, now)
             done = machine.memsys.access(
                 self.core_id, op.addr, type(op) is Store, now)
             self.retired_instructions += 1
@@ -173,6 +179,9 @@ class Core:
 
         if type(op) is Lock:
             assert ctx.agent_id is not None
+            san = machine.sanitizer
+            if san is not None:
+                san.on_lock_request(op.lock_id, ctx.agent_id, now)
             grant = machine.locks.acquire(op.lock_id, ctx.agent_id, now)
             if grant is None:
                 self._begin_spin(ctx, now)
@@ -182,6 +191,9 @@ class Core:
 
         if type(op) is Unlock:
             assert ctx.agent_id is not None
+            san = machine.sanitizer
+            if san is not None:
+                san.on_unlock_request(op.lock_id, ctx.agent_id, now)
             handoff = machine.locks.release(op.lock_id, ctx.agent_id, now)
             if handoff is not None:
                 next_agent, grant = handoff
@@ -205,6 +217,9 @@ class Core:
             return
 
         if type(op) is ReadCounter:
+            san = machine.sanitizer
+            if san is not None and ctx.agent_id is not None:
+                san.on_read_counter(ctx.agent_id, op.kind, now)
             ctx.send_value = machine.counters.read(op.kind, self.core_id)
             # Reading a counter is a cheap serializing instruction.
             events.schedule(now + 1, lambda: self._step(ctx))

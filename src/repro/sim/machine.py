@@ -71,12 +71,23 @@ class Machine:
                          self.config.ring_link_occupancy)
         self.memsys = MemorySystem(self.config, self.ring, core_nodes, bank_nodes)
         self.counters = CounterFile(self.events, self.memsys)
+        #: Thread sanitizer (repro.check), or None.  A pure observer:
+        #: attaching one never changes simulated timing.
+        self.sanitizer = None
+        san_config = self.config.sanitizer
+        if san_config is not None and san_config.enabled:
+            # Imported lazily: the sim layer stays import-free of the
+            # checker unless a config actually asks for it.
+            from repro.check.sanitizer import ThreadSanitizer
+            self.sanitizer = ThreadSanitizer(san_config)
         # Locks and barriers are keyed by *agent* (thread slot); an
         # agent's ring node is its hosting core's node.
         agent_nodes = [core_nodes[s % self.config.num_cores]
                        for s in range(self.config.num_thread_slots)]
-        self.locks = LockManager(self.config, self.ring, agent_nodes)
-        self.barriers = BarrierManager(self.config, self.ring, agent_nodes)
+        self.locks = LockManager(self.config, self.ring, agent_nodes,
+                                 hooks=self.sanitizer)
+        self.barriers = BarrierManager(self.config, self.ring, agent_nodes,
+                                       hooks=self.sanitizer)
         self.cores = [Core(i, self) for i in range(self.config.num_cores)]
         self._team_size = 0
         self._threads_running = 0
@@ -141,6 +152,8 @@ class Machine:
             raise SimulationError("a parallel region is already running")
 
         start = self.events.now
+        if self.sanitizer is not None:
+            self.sanitizer.on_region_begin(num_threads, start)
         self._team_size = num_threads
         self._threads_running = num_threads
         self._core_first_start.clear()
@@ -173,6 +186,8 @@ class Machine:
         for _core_id, first_start in self._core_first_start.items():
             self._active_core_cycles += end - first_start
         self._core_first_start.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.on_region_end(end)
         return RegionResult(start_cycle=start, end_cycle=end,
                             num_threads=num_threads)
 

@@ -16,7 +16,7 @@ values the paper reports.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import WorkloadError

@@ -13,6 +13,7 @@ real (erf-based CND) and verified against put-call parity in tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -31,17 +32,14 @@ _BLOCK = 32  # options per FDT iteration
 _F32_PER_LINE = LINE // 4
 
 
-def _cnd(x: NDArray[np.float64]) -> NDArray[np.float64]:
-    """Cumulative normal distribution via erf."""
-    from math import sqrt
+#: Element-wise stdlib error function; numpy has no erf of its own and
+#: the closed-form CND needs nothing heavier than math.erf.
+_ERF = np.vectorize(math.erf)
 
-    from numpy import vectorize
-    try:
-        from scipy.special import erf  # type: ignore
-        return 0.5 * (1.0 + erf(x / np.sqrt(2.0)))
-    except ImportError:  # pragma: no cover - scipy is installed here
-        import math
-        return vectorize(lambda v: 0.5 * (1.0 + math.erf(v / sqrt(2.0))))(x)
+
+def _cnd(x: NDArray[np.float64]) -> NDArray[np.float64]:
+    """Cumulative normal distribution via the stdlib error function."""
+    return 0.5 * (1.0 + _ERF(x / math.sqrt(2.0)))
 
 
 @dataclass(frozen=True, slots=True)

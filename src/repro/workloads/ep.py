@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import WorkloadError
 from repro.fdt.kernel import TeamParallelKernel
 from repro.fdt.runner import Application
-from repro.isa.ops import BarrierWait, Compute, Load, Lock, Op, Store, Unlock
+from repro.isa.ops import BarrierWait, Compute, Lock, Op, Store, Unlock
 from repro.runtime.parallel import static_chunks
 from repro.workloads.base import LINE, AddressSpace, Category, WorkloadSpec, register
 

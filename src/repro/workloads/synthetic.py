@@ -20,7 +20,7 @@ inside the simulator rather than just inside the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import WorkloadError
 from repro.fdt.kernel import TeamParallelKernel
@@ -101,6 +101,141 @@ class SyntheticKernel(TeamParallelKernel):
             yield Unlock(_CS_LOCK)
 
         yield BarrierWait(_BARRIER)
+
+
+# -- sanitizer positive controls ------------------------------------------
+#
+# Deliberately broken kernels used as the thread sanitizer's fixtures
+# (repro.check): each one must trip exactly the analysis it is named
+# for.  They are *not* registered in the Table 2 roster; ``repro check``
+# resolves them by fixture name.
+
+class RacyKernel(TeamParallelKernel):
+    """Unprotected read-modify-write of one shared line (a data race).
+
+    Every thread loads and stores the same shared address each iteration
+    with no lock held, so the lockset detector must report an
+    empty-lockset write-write race on ``shared_addr``.
+    """
+
+    name = "synthetic-racy"
+
+    def __init__(self, iterations: int = 4) -> None:
+        self._iterations = iterations
+        space = AddressSpace()
+        #: The contended address, exposed so tests can assert the
+        #: finding names it.
+        self.shared_addr = space.alloc(LINE)
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        # Skew the threads a little so accesses interleave rather than
+        # proceeding in lockstep (the race is there either way).
+        yield Compute(40 + 14 * thread_id)
+        yield Load(self.shared_addr)
+        yield Compute(20)
+        yield Store(self.shared_addr)  # no lock: the seeded race
+        yield BarrierWait(_BARRIER)
+
+
+class LockInversionKernel(TeamParallelKernel):
+    """Opposite lock-acquisition orders on two locks (potential deadlock).
+
+    Even threads take lock 0 then lock 1; odd threads take lock 1 then
+    lock 0.  The odd threads are staggered far enough behind that the
+    FIFO grant order dodges the deadlock *this run* — exactly the latent
+    bug the lock-order analysis exists to catch (edges 0->1 and 1->0
+    form a cycle).  The shared store is protected by both locks, so no
+    race is reported.
+    """
+
+    name = "synthetic-lock-inversion"
+
+    _LOCK_A = 0
+    _LOCK_B = 1
+    #: Instructions of head start the even threads get; at 2-wide issue
+    #: this dwarfs the whole critical region, so the opposite-order
+    #: acquires never actually overlap.
+    _STAGGER_INSTR = 40_000
+
+    def __init__(self, iterations: int = 2) -> None:
+        self._iterations = iterations
+        space = AddressSpace()
+        self.shared_addr = space.alloc(LINE)
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        if thread_id % 2 == 0:
+            first, second = self._LOCK_A, self._LOCK_B
+        else:
+            first, second = self._LOCK_B, self._LOCK_A
+            yield Compute(self._STAGGER_INSTR)
+        yield Lock(first)
+        yield Compute(10)
+        yield Lock(second)
+        yield Store(self.shared_addr)
+        yield Unlock(second)
+        yield Unlock(first)
+        yield BarrierWait(_BARRIER)
+
+
+class UnheldUnlockKernel(TeamParallelKernel):
+    """Releases a lock it never acquired (a discipline violation).
+
+    The lock manager aborts the run when the Unlock is serviced; the
+    sanitizer's discipline lint records the ``unlock-of-unheld`` finding
+    just before that happens.
+    """
+
+    name = "synthetic-unheld-unlock"
+
+    def __init__(self, iterations: int = 1) -> None:
+        self._iterations = iterations
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        yield Compute(50)
+        yield Unlock(_CS_LOCK)  # never acquired
+        yield BarrierWait(_BARRIER)
+
+
+def build_racy(scale: float = 1.0) -> Application:
+    """The race positive control (``scale`` accepted for CLI symmetry)."""
+    kernel = RacyKernel()
+    return Application.single(kernel)
+
+
+def build_lock_inversion(scale: float = 1.0) -> Application:
+    """The lock-order-inversion positive control."""
+    kernel = LockInversionKernel()
+    return Application.single(kernel)
+
+
+def build_unheld_unlock(scale: float = 1.0) -> Application:
+    """The unlock-without-hold positive control."""
+    kernel = UnheldUnlockKernel()
+    return Application.single(kernel)
+
+
+def sanitizer_fixtures() -> dict[str, Callable[[float], Application]]:
+    """Fixture name -> builder, for ``repro check`` name resolution."""
+    return {
+        "synthetic-racy": build_racy,
+        "synthetic-lock-inversion": build_lock_inversion,
+        "synthetic-unheld-unlock": build_unheld_unlock,
+    }
 
 
 def build_synthetic(cs_fraction: float = 0.0, bus_lines: int = 0,

@@ -23,7 +23,7 @@ from repro.errors import WorkloadError
 from repro.fdt.kernel import DataParallelKernel
 from repro.fdt.runner import Application
 from repro.isa.ops import Compute, Load, Op, Store
-from repro.workloads.base import LINE, AddressSpace, Category, WorkloadSpec, register
+from repro.workloads.base import AddressSpace, Category, WorkloadSpec, register
 
 #: Per-line copy cost: 16 floats with index arithmetic each way.
 COPY_INSTR_PER_LINE = 64

@@ -95,6 +95,34 @@ def test_parse_thread_list():
         _parse_thread_list("a,b")
 
 
+def test_check_clean_workload_exits_zero(capsys):
+    code, out = run_cli(capsys, "check", "EP", "--scale", "0.1")
+    assert code == 0
+    assert "OK - no findings" in out
+
+
+def test_check_racy_fixture_exits_nonzero(capsys):
+    code, out = run_cli(capsys, "check", "synthetic-racy")
+    assert code == 1
+    assert "FAIL" in out
+    assert "empty-lockset" in out
+
+
+def test_check_json_output_is_valid(capsys):
+    import json
+    code, out = run_cli(capsys, "check", "synthetic-racy", "--json")
+    assert code == 1
+    parsed = json.loads(out)
+    assert parsed["clean"] is False
+    assert parsed["counts"]["race"] >= 1
+
+
+def test_check_unknown_workload_fails_cleanly(capsys):
+    code = main(["check", "NoSuchWorkload"])
+    assert code == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
 def test_run_with_smt_flag(capsys):
     code, out = run_cli(capsys, "run", "EP", "--policy", "sat",
                         "--scale", "0.25", "--smt", "2")

@@ -16,7 +16,6 @@ from repro.isa.ops import (
     Store,
     Unlock,
 )
-from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine, _place_nodes
 
 

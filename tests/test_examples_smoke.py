@@ -31,7 +31,8 @@ def test_examples_directory_complete():
     names = {p.stem for p in EXAMPLES.glob("*.py")}
     assert {"quickstart", "input_set_adaptation", "machine_adaptation",
             "custom_workload", "per_kernel_power",
-            "extensions_and_inspection", "dynamic_scheduling"} <= names
+            "extensions_and_inspection", "dynamic_scheduling",
+            "sanitize_workload"} <= names
 
 
 def test_quickstart_runs(capsys):
@@ -53,6 +54,13 @@ def test_dynamic_scheduling_runs(capsys):
     out = capsys.readouterr().out
     assert "static chunks" in out
     assert "dynamic, chunk  1" in out
+
+
+def test_sanitize_workload_runs(capsys):
+    load_example("sanitize_workload").main()
+    out = capsys.readouterr().out
+    assert "locked histogram: clean=True" in out
+    assert "the sanitizer caught the dropped lock" in out
 
 
 @pytest.mark.parametrize("name", ["per_kernel_power", "machine_adaptation",

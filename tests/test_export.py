@@ -10,7 +10,7 @@ import pytest
 from repro.analysis.export import runs_to_csv, series_to_csv, sweep_to_csv
 from repro.analysis.sweep import SweepResult, ThreadPoint
 from repro.fdt.policies import StaticPolicy
-from repro.fdt.runner import Application, run_application
+from repro.fdt.runner import run_application
 from repro.sim.config import MachineConfig
 from repro.workloads import get
 

@@ -12,7 +12,7 @@ from repro.fdt.kernel import DataParallelKernel, TeamParallelKernel
 from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
 from repro.fdt.runner import Application, run_application
 from repro.fdt.training import TrainingConfig, TrainingLog, TrainingSample
-from repro.isa.ops import BarrierWait, Compute, Load, Lock, Op, Unlock
+from repro.isa.ops import BarrierWait, Compute, Lock, Op, Unlock
 from repro.sim.config import MachineConfig
 
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import SimulationError
@@ -10,11 +12,15 @@ from repro.sim.config import MachineConfig
 from repro.sim.ring import Ring
 
 
-@pytest.fixture
-def locks() -> LockManager:
-    cfg = MachineConfig.small(num_cores=4)
+def make_locks(**config_overrides) -> LockManager:
+    cfg = replace(MachineConfig.small(num_cores=4), **config_overrides)
     ring = Ring(cfg.num_cores + cfg.l3_banks)
     return LockManager(cfg, ring, core_nodes=list(range(cfg.num_cores)))
+
+
+@pytest.fixture
+def locks() -> LockManager:
+    return make_locks()
 
 
 def test_free_lock_granted_immediately(locks: LockManager):
@@ -93,6 +99,43 @@ def test_independent_locks_do_not_interact(locks: LockManager):
     assert grant is not None
     assert locks.holder(0) == 0
     assert locks.holder(1) == 1
+
+
+def test_lifo_grant_order_pops_newest_waiter():
+    locks = make_locks(lock_grant_order="lifo")
+    locks.acquire(0, core=0, now=0)
+    locks.acquire(0, core=1, now=1)
+    locks.acquire(0, core=2, now=2)
+    next_core, grant = locks.release(0, core=0, now=50)
+    assert next_core == 2  # newest waiter wins under LIFO
+    next_core, _grant = locks.release(0, core=2, now=grant + 5)
+    assert next_core == 1
+
+
+def test_fresh_lock_grant_is_resident_latency(locks: LockManager):
+    # No last holder: the lock line is born resident, 2-cycle grant.
+    assert locks.acquire(7, core=3, now=100) == 102
+
+
+def test_same_core_reacquire_costs_resident_latency(locks: LockManager):
+    g1 = locks.acquire(0, core=2, now=0)
+    locks.release(0, core=2, now=g1 + 8)
+    # Same core re-acquires: line still in its cache in M state.
+    assert locks.acquire(0, core=2, now=g1 + 20) == g1 + 22
+
+
+def test_cross_core_handoff_beats_resident_latency(locks: LockManager):
+    g1 = locks.acquire(0, core=0, now=0)
+    locks.release(0, core=0, now=g1 + 1)
+    grant = locks.acquire(0, core=3, now=g1 + 10)
+    base = MachineConfig.small().lock_handoff_base
+    assert grant - (g1 + 10) >= base  # migration >> resident 2 cycles
+
+
+def test_release_of_never_created_lock_raises(locks: LockManager):
+    locks.acquire(0, core=0, now=0)  # manager is live, lock 9 is not
+    with pytest.raises(SimulationError):
+        locks.release(9, core=0, now=5)
 
 
 def test_any_held_reflects_state(locks: LockManager):

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.fdt.kernel import FunctionKernel
 from repro.fdt.policies import StaticPolicy
 from repro.fdt.runner import Application, run_application
