@@ -4,6 +4,13 @@ A sweep runs an application once per thread count under the conventional
 static policy, each run on a fresh machine (the paper's methodology:
 every point is a complete execution).  Applications are rebuilt per
 point because kernels carry real computed state.
+
+Sweeps accept the workload in two forms: a zero-argument factory
+callable (the legacy in-process path) or a declarative
+:class:`~repro.jobs.WorkloadRef`, which routes every point through the
+:mod:`repro.jobs` subsystem — deduplicated, optionally parallel,
+optionally served from the on-disk result cache.  The two paths are
+bit-identical because the simulator is deterministic.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Callable, Sequence
 from repro.errors import ConfigError
 from repro.fdt.policies import StaticPolicy
 from repro.fdt.runner import Application, AppRunResult, run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
 
 AppFactory = Callable[[], Application]
@@ -77,37 +85,67 @@ class SweepResult:
         return [p.bus_utilization for p in self.points]
 
 
-def sweep_threads(build: AppFactory | Callable[[], Application],
-                  thread_counts: Sequence[int] = COARSE_GRID,
-                  config: MachineConfig | None = None) -> SweepResult:
-    """Run ``build()`` once per thread count under static threading.
-
-    Args:
-        build: zero-argument application factory (called per point).
-        thread_counts: team sizes to run; clamped to the core count.
-        config: machine configuration (baseline when omitted).
-
-    Returns:
-        A :class:`SweepResult` in ascending thread order.
-    """
-    cfg = config or MachineConfig.asplos08_baseline()
-    points = []
-    name = ""
+def _clamped_counts(thread_counts: Sequence[int],
+                    cfg: MachineConfig) -> list[int]:
+    """Ascending unique counts within the core count (legacy semantics)."""
+    counts = []
     for threads in sorted(set(thread_counts)):
         if threads < 1:
             raise ConfigError("thread counts must be >= 1")
         if threads > cfg.num_cores:
             continue
+        counts.append(threads)
+    if not counts:
+        raise ConfigError("no sweep points within the machine's core count")
+    return counts
+
+
+def _point_from_result(threads: int, res: AppRunResult) -> ThreadPoint:
+    r = res.result
+    return ThreadPoint(
+        threads=threads,
+        cycles=res.cycles,
+        power=r.power,
+        bus_utilization=r.bus_utilization,
+    )
+
+
+def sweep_threads(build: AppFactory | WorkloadRef,
+                  thread_counts: Sequence[int] = COARSE_GRID,
+                  config: MachineConfig | None = None,
+                  runner: JobRunner | None = None) -> SweepResult:
+    """Run the workload once per thread count under static threading.
+
+    Args:
+        build: zero-argument application factory (called per point, run
+            in-process), or a :class:`~repro.jobs.WorkloadRef` to submit
+            the points as jobs.
+        thread_counts: team sizes to run; clamped to the core count.
+        config: machine configuration (baseline when omitted).
+        runner: job runner for the :class:`~repro.jobs.WorkloadRef`
+            form; a fresh serial, memo-only runner when omitted.
+            Ignored for factory callables, which cannot be hashed into
+            job keys.
+
+    Returns:
+        A :class:`SweepResult` in ascending thread order.
+    """
+    cfg = config or MachineConfig.asplos08_baseline()
+    counts = _clamped_counts(thread_counts, cfg)
+    if isinstance(build, WorkloadRef):
+        runner = runner or JobRunner()
+        results = runner.run([
+            JobSpec(workload=build, policy=PolicySpec.static(t), config=cfg)
+            for t in counts])
+        return SweepResult(
+            app_name=results[-1].app_name,
+            points=tuple(_point_from_result(t, res)
+                         for t, res in zip(counts, results)))
+    points = []
+    name = ""
+    for threads in counts:
         app = build()
         name = app.name
-        res: AppRunResult = run_application(app, StaticPolicy(threads), cfg)
-        r = res.result
-        points.append(ThreadPoint(
-            threads=threads,
-            cycles=res.cycles,
-            power=r.power,
-            bus_utilization=r.bus_utilization,
-        ))
-    if not points:
-        raise ConfigError("no sweep points within the machine's core count")
+        res = run_application(app, StaticPolicy(threads), cfg)
+        points.append(_point_from_result(threads, res))
     return SweepResult(app_name=name, points=tuple(points))

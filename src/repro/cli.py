@@ -4,9 +4,12 @@ Usage (after ``pip install -e .``)::
 
     python -m repro list                         # Table 2 roster
     python -m repro run PageMine --policy fdt    # one application run
-    python -m repro run ED --policy static --threads 8
+    python -m repro run ED --policy static --threads 8 --json
     python -m repro sweep PageMine --threads 1,2,4,8,16,32
+    python -m repro sweep ED --jobs 8            # points on a process pool
     python -m repro figure fig2                  # regenerate a figure
+    python -m repro figure fig8 --jobs 8 --manifest fig8.json
+    python -m repro batch EP PageMine --threads 1,2,4 --policies static,fdt
     python -m repro machine                      # Table 1 dump
     python -m repro check PageMine               # thread-sanitize a workload
     python -m repro check synthetic-racy --json  # positive control, JSON out
@@ -15,11 +18,19 @@ Every command accepts ``--scale`` (input-set scaling) and the machine
 knobs ``--cores`` and ``--bandwidth``.  ``check`` exits 0 when the
 workload is clean and 1 when the sanitizer found races, lock-order
 cycles, or discipline violations.
+
+``sweep``, ``figure``, and ``batch`` submit their simulations through
+the :mod:`repro.jobs` subsystem: ``--jobs N`` fans independent runs out
+over N worker processes, results are served from the content-addressed
+cache under ``~/.cache/repro`` (``--cache-dir`` overrides, ``--no-cache``
+disables), and ``--manifest FILE`` records every job's key, status, and
+wall time.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -29,6 +40,14 @@ from repro.analysis.sweep import sweep_threads
 from repro.errors import ReproError
 from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
 from repro.fdt.runner import run_application
+from repro.jobs import (
+    JobRunner,
+    JobSpec,
+    PolicySpec,
+    ResultCache,
+    WorkloadRef,
+    app_result_to_dict,
+)
 from repro.sim.config import MachineConfig
 from repro.workloads import all_specs, get
 
@@ -71,13 +90,40 @@ def _policy(args: argparse.Namespace) -> ThreadingPolicy:
 
 
 def _parse_thread_list(text: str) -> tuple[int, ...]:
+    # "".split(",") yields [''], so emptiness must be checked on the
+    # stripped parts, not on the tuple of parsed ints.
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise ReproError("thread list is empty")
     try:
-        counts = tuple(int(part) for part in text.split(","))
+        return tuple(int(part) for part in parts)
     except ValueError:
         raise ReproError(f"bad thread list {text!r}; expected e.g. 1,2,4,8")
-    if not counts:
-        raise ReproError("thread list is empty")
-    return counts
+
+
+def _warn_counts_over_cores(counts: Sequence[int],
+                            config: MachineConfig) -> None:
+    """Flag requested thread counts the sweep will silently skip."""
+    skipped = sorted({t for t in counts if t > config.num_cores})
+    if skipped:
+        listed = ",".join(map(str, skipped))
+        print(f"warning: skipping thread counts above the "
+              f"{config.num_cores}-core machine: {listed}", file=sys.stderr)
+
+
+def _make_runner(args: argparse.Namespace) -> JobRunner:
+    """Build the job runner the jobs-aware commands share."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return JobRunner(cache=cache, jobs=args.jobs, timeout=args.timeout)
+
+
+def _finish_jobs(args: argparse.Namespace, runner: JobRunner,
+                 quiet: bool = False) -> None:
+    """Write the manifest if requested; summarize to stderr."""
+    if args.manifest:
+        runner.manifest.write(args.manifest)
+    if not quiet:
+        print(f"jobs: {runner.manifest.summary()}", file=sys.stderr)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -102,6 +148,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machine = Machine(config)
     result = run_application(spec.build(args.scale), _policy(args), config,
                              machine=machine)
+    if args.json:
+        payload = app_result_to_dict(result)
+        payload.update(
+            cycles=result.cycles,
+            power=result.power,
+            bus_utilization=result.result.bus_utilization,
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{spec.name} under {result.policy_name} "
           f"on {config.num_cores} cores:")
     for info in result.kernel_infos:
@@ -128,16 +183,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _machine_config(args)
     spec = get(args.workload)
     counts = _parse_thread_list(args.threads)
-    sweep = sweep_threads(lambda: spec.build(args.scale), counts, config)
-    base = sweep.points[0].cycles
-    rows = [(p.threads, p.cycles, f"{p.cycles / base:.3f}",
-             f"{p.power:.1f}", f"{p.bus_utilization:.1%}")
-            for p in sweep.points]
-    print(ascii_table(
-        ("threads", "cycles", "norm time", "power", "bus util"), rows))
+    _warn_counts_over_cores(counts, config)
+    runner = _make_runner(args)
+    sweep = sweep_threads(WorkloadRef(name=spec.name, scale=args.scale),
+                          counts, config, runner=runner)
     oracle = oracle_choice(sweep)
-    print(f"\nbest: {sweep.best_threads} threads; "
-          f"oracle (fewest within 1%): {oracle.threads} threads")
+    if args.json:
+        payload = {
+            "workload": spec.name,
+            "scale": args.scale,
+            "points": [{"threads": p.threads, "cycles": p.cycles,
+                        "power": p.power,
+                        "bus_utilization": p.bus_utilization}
+                       for p in sweep.points],
+            "best_threads": sweep.best_threads,
+            "oracle_threads": oracle.threads,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        base = sweep.points[0].cycles
+        rows = [(p.threads, p.cycles, f"{p.cycles / base:.3f}",
+                 f"{p.power:.1f}", f"{p.bus_utilization:.1%}")
+                for p in sweep.points]
+        print(ascii_table(
+            ("threads", "cycles", "norm time", "power", "bus util"), rows))
+        print(f"\nbest: {sweep.best_threads} threads; "
+              f"oracle (fewest within 1%): {oracle.threads} threads")
+    _finish_jobs(args, runner)
     return 0
 
 
@@ -160,11 +232,89 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
     module_name, func_name = _FIGURES[args.name]
     module = importlib.import_module(module_name)
-    runner = getattr(module, func_name)
-    result = runner()
-    print(result.format())
+    figure_func = getattr(module, func_name)
+    if "runner" in inspect.signature(figure_func).parameters:
+        runner = _make_runner(args)
+        result = figure_func(runner=runner)
+        print(result.format())
+        _finish_jobs(args, runner)
+    else:
+        result = figure_func()
+        print(result.format())
+        if args.manifest:
+            print(f"note: figure {args.name!r} runs no simulations; "
+                  f"no manifest written", file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    config = _machine_config(args)
+    counts = _parse_thread_list(args.threads)
+    _warn_counts_over_cores(counts, config)
+    static_counts = [t for t in sorted(set(counts))
+                     if t <= config.num_cores]
+    policies = []
+    for kind in args.policies.split(","):
+        kind = kind.strip()
+        if not kind:
+            continue
+        if kind not in ("static", "fdt", "sat", "bat"):
+            raise ReproError(f"unknown policy {kind!r}; "
+                             f"expected static, fdt, sat, or bat")
+        policies.append(kind)
+    if not policies:
+        raise ReproError("policy list is empty")
+    if "static" in policies and not static_counts:
+        raise ReproError("no static thread counts within the core count")
+
+    specs: list[JobSpec] = []
+    for name in args.workloads:
+        ref = WorkloadRef(name=get(name).name, scale=args.scale)
+        for kind in policies:
+            if kind == "static":
+                specs.extend(
+                    JobSpec(workload=ref, policy=PolicySpec.static(t),
+                            config=config)
+                    for t in static_counts)
+            else:
+                specs.append(JobSpec(workload=ref,
+                                     policy=PolicySpec(kind=kind),
+                                     config=config))
+
+    runner = _make_runner(args)
+    results = runner.run(specs)
+    status_by_key = {e.key: e.status for e in runner.manifest.entries}
+    jobs = []
+    for spec, res in zip(specs, results):
+        jobs.append({
+            "workload": spec.workload.name,
+            "scale": spec.workload.scale,
+            "policy": spec.policy.label,
+            "threads": list(res.threads_used),
+            "cycles": res.cycles,
+            "power": res.power,
+            "bus_utilization": res.result.bus_utilization,
+            "key": spec.key(),
+            "status": status_by_key.get(spec.key(), "hit"),
+        })
+    if args.json:
+        print(json.dumps({"jobs": jobs,
+                          "counts": runner.manifest.counts}, indent=2))
+        _finish_jobs(args, runner, quiet=True)
+    else:
+        rows = [(j["workload"], j["policy"],
+                 "/".join(map(str, j["threads"])), f"{j['cycles']:,}",
+                 f"{j['power']:.1f}", f"{j['bus_utilization']:.1%}",
+                 j["status"]) for j in jobs]
+        print(ascii_table(("workload", "policy", "threads", "cycles",
+                           "power", "bus util", "status"), rows))
+        print(f"\n{runner.manifest.summary()}")
+        _finish_jobs(args, runner, quiet=True)
+        if args.manifest:
+            print(f"manifest written to {args.manifest}", file=sys.stderr)
     return 0
 
 
@@ -184,6 +334,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.5,
                        help="input-set scale factor (default 0.5)")
 
+    def add_job_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for independent runs "
+                            "(default 1: in-process)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+        p.add_argument("--manifest", default=None, metavar="FILE",
+                       help="write a JSON run manifest (job keys, "
+                            "status, wall time, cache hit/miss)")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-job timeout for --jobs > 1")
+
     p_list = sub.add_parser("list", help="list the Table 2 workloads")
     p_list.set_defaults(func=_cmd_list)
 
@@ -199,6 +364,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread count for --policy static")
     p_run.add_argument("--report", default=None, metavar="FILE",
                        help="write the full machine-stats JSON to FILE")
+    p_run.add_argument("--json", action="store_true",
+                       help="print the machine-readable run result")
     add_machine_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -206,7 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("workload", help="Table 2 workload name")
     p_sweep.add_argument("--threads", default="1,2,4,8,16,32",
                          help="comma-separated thread counts")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="print the machine-readable sweep result")
     add_machine_args(p_sweep)
+    add_job_args(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_check = sub.add_parser(
@@ -227,7 +397,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIGURES))
+    add_job_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a workload x policy x thread-count grid as jobs")
+    p_batch.add_argument("workloads", nargs="+", metavar="WORKLOAD",
+                         help="Table 2 workload name(s)")
+    p_batch.add_argument("--threads", default="1,2,4,8,16,32",
+                         help="comma-separated counts for static policies")
+    p_batch.add_argument("--policies", default="static",
+                         help="comma-separated subset of "
+                              "static,fdt,sat,bat (default: static)")
+    p_batch.add_argument("--json", action="store_true",
+                         help="print the machine-readable batch result")
+    add_machine_args(p_batch)
+    add_job_args(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
 
     return parser
 

@@ -40,3 +40,11 @@ class TrainingError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload was asked for an unsupported configuration."""
+
+
+class JobError(ReproError):
+    """A batch job could not be specified or executed.
+
+    Raised by :mod:`repro.jobs` for invalid job specs and for jobs that
+    failed (or timed out) in every execution attempt.
+    """

@@ -18,10 +18,8 @@ from typing import Sequence
 
 from repro.analysis.report import ascii_table
 from repro.analysis.sweep import sweep_threads
-from repro.fdt.policies import FdtMode, FdtPolicy
-from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
-from repro.workloads.synthetic import build_synthetic
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,16 +67,23 @@ def run_crossover(bus_lines: Sequence[int] = (0, 16, 64, 160),
                   iterations: int = 192,
                   thread_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8,
                                                   10, 12, 16, 24, 32),
-                  config: MachineConfig | None = None) -> CrossoverResult:
-    """Sweep bandwidth demand across the SAT/BAT crossover."""
+                  config: MachineConfig | None = None,
+                  runner: JobRunner | None = None) -> CrossoverResult:
+    """Sweep bandwidth demand across the SAT/BAT crossover.
+
+    All runs are submitted through ``runner`` (a fresh serial, memo-only
+    runner when omitted); the synthetic kernel's knobs are part of each
+    job's content hash.
+    """
     cfg = config or MachineConfig.asplos08_baseline()
+    runner = runner or JobRunner()
     points = []
     for lines in bus_lines:
-        def build(lines=lines):
-            return build_synthetic(cs_fraction=cs_fraction, bus_lines=lines,
-                                   iterations=iterations)
-        sweep = sweep_threads(build, thread_counts, cfg)
-        fdt = run_application(build(), FdtPolicy(FdtMode.COMBINED), cfg)
+        ref = WorkloadRef.synthetic(cs_fraction=cs_fraction, bus_lines=lines,
+                                    iterations=iterations)
+        sweep = sweep_threads(ref, thread_counts, cfg, runner=runner)
+        fdt = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.fdt(), config=cfg))
         info = fdt.kernel_infos[0]
         points.append(CrossoverPoint(
             bus_lines=lines,

@@ -13,10 +13,8 @@ from typing import Sequence
 
 from repro.analysis.report import ascii_table
 from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
-from repro.fdt.policies import FdtMode, FdtPolicy, KernelRunInfo
-from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
-from repro.workloads import get
 
 CS_WORKLOADS = ("PageMine", "ISort", "GSearch", "EP")
 
@@ -65,29 +63,31 @@ class Fig8Result:
         return f"Figure 8: SAT on synchronization-limited workloads\n{table}"
 
 
-def _run_sat(workload: str, scale: float,
-             config: MachineConfig | None) -> tuple[KernelRunInfo, int, float]:
-    res = run_application(get(workload).build(scale),
-                          FdtPolicy(FdtMode.SAT), config)
-    return res.kernel_infos[0], res.cycles, res.power
-
-
 def run_fig8(scale: float = 0.5,
              thread_counts: Sequence[int] = COARSE_GRID,
              config: MachineConfig | None = None,
-             workloads: Sequence[str] = CS_WORKLOADS) -> Fig8Result:
-    """Regenerate Figure 8's four panels."""
+             workloads: Sequence[str] = CS_WORKLOADS,
+             runner: JobRunner | None = None) -> Fig8Result:
+    """Regenerate Figure 8's four panels.
+
+    All runs are submitted through ``runner`` (a fresh serial, memo-only
+    :class:`~repro.jobs.JobRunner` when omitted), so a shared runner
+    with a warm cache regenerates the figure without simulating.
+    """
+    cfg = config or MachineConfig.asplos08_baseline()
+    runner = runner or JobRunner()
     panels = []
     for name in workloads:
-        spec = get(name)
-        sweep = sweep_threads(lambda: spec.build(scale), thread_counts, config)
-        info, cycles, power = _run_sat(name, scale, config)
+        ref = WorkloadRef(name=name, scale=scale)
+        sweep = sweep_threads(ref, thread_counts, cfg, runner=runner)
+        res = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.sat(), config=cfg))
         panels.append(SatPanel(
             workload=name,
             sweep=sweep,
-            sat_threads=info.threads,
-            sat_cycles=cycles,
-            sat_power=power,
+            sat_threads=res.kernel_infos[0].threads,
+            sat_cycles=res.cycles,
+            sat_power=res.power,
         ))
     return Fig8Result(panels=tuple(panels))
 

@@ -14,10 +14,8 @@ from typing import Sequence
 
 from repro.analysis.report import ascii_table
 from repro.analysis.sweep import COARSE_GRID, SweepResult, sweep_threads
-from repro.fdt.policies import FdtMode, FdtPolicy
-from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
-from repro.workloads import get
 
 BW_WORKLOADS = ("ED", "convert", "Transpose", "MTwister")
 
@@ -68,21 +66,24 @@ def run_fig12(scale: float = 0.25,
               thread_counts: Sequence[int] = COARSE_GRID,
               config: MachineConfig | None = None,
               workloads: Sequence[str] = BW_WORKLOADS,
-              mtwister_scale: float = 1.0) -> Fig12Result:
+              mtwister_scale: float = 1.0,
+              runner: JobRunner | None = None) -> Fig12Result:
     """Regenerate Figure 12's four panels.
 
     MTwister keeps its own scale because its second kernel is only
     bandwidth-limited while the data set exceeds the L3 (see the
-    workload's docstring).
+    workload's docstring).  All runs are submitted through ``runner``
+    (a fresh serial, memo-only runner when omitted).
     """
+    cfg = config or MachineConfig.asplos08_baseline()
+    runner = runner or JobRunner()
     panels = []
     for name in workloads:
-        spec = get(name)
         wl_scale = mtwister_scale if name == "MTwister" else scale
-        sweep = sweep_threads(lambda: spec.build(wl_scale), thread_counts,
-                              config)
-        res = run_application(spec.build(wl_scale), FdtPolicy(FdtMode.BAT),
-                              config)
+        ref = WorkloadRef(name=name, scale=wl_scale)
+        sweep = sweep_threads(ref, thread_counts, cfg, runner=runner)
+        res = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.bat(), config=cfg))
         panels.append(BatPanel(
             workload=name,
             sweep=sweep,

@@ -13,10 +13,9 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.report import ascii_bars, ascii_table, gmean
-from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
-from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
-from repro.workloads import all_specs, get
+from repro.workloads import all_specs
 
 #: Table 2 order, as plotted in the figure.
 ALL_WORKLOADS = ("PageMine", "ISort", "GSearch", "EP",
@@ -73,20 +72,28 @@ class Fig14Result:
 def run_fig14(scale: float = 0.25,
               workloads: Sequence[str] = ALL_WORKLOADS,
               config: MachineConfig | None = None,
-              scales: dict[str, float] | None = None) -> Fig14Result:
-    """Regenerate Figure 14 over the given workloads."""
+              scales: dict[str, float] | None = None,
+              runner: JobRunner | None = None) -> Fig14Result:
+    """Regenerate Figure 14 over the given workloads.
+
+    All runs are submitted through ``runner`` (a fresh serial, memo-only
+    runner when omitted), so the 32-thread baselines and FDT runs shared
+    with other figures come from the cache when one is attached.
+    """
     cfg = config or MachineConfig.asplos08_baseline()
+    runner = runner or JobRunner()
     per_wl = dict(DEFAULT_SCALES)
     if scales:
         per_wl.update(scales)
     categories = {s.name: s.category.value for s in all_specs()}
     rows = []
     for name in workloads:
-        spec = get(name)
         wl_scale = per_wl.get(name, scale)
-        baseline = run_application(spec.build(wl_scale), StaticPolicy(), cfg)
-        fdt = run_application(spec.build(wl_scale),
-                              FdtPolicy(FdtMode.COMBINED), cfg)
+        ref = WorkloadRef(name=name, scale=wl_scale)
+        baseline = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.static(), config=cfg))
+        fdt = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.fdt(), config=cfg))
         rows.append(CombinedRow(
             workload=name,
             category=categories[name].split("-")[0],

@@ -17,10 +17,8 @@ from repro.analysis.oracle import oracle_choice
 from repro.analysis.report import ascii_table
 from repro.analysis.sweep import COARSE_GRID, sweep_threads
 from repro.experiments.fig14_combined import ALL_WORKLOADS, DEFAULT_SCALES
-from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
-from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
 from repro.sim.config import MachineConfig
-from repro.workloads import get
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,23 +66,33 @@ def run_fig15(scale: float = 0.25,
               workloads: Sequence[str] = ALL_WORKLOADS,
               thread_counts: Sequence[int] = COARSE_GRID,
               config: MachineConfig | None = None,
-              scales: dict[str, float] | None = None) -> Fig15Result:
-    """Regenerate Figure 15 over the given workloads."""
+              scales: dict[str, float] | None = None,
+              runner: JobRunner | None = None) -> Fig15Result:
+    """Regenerate Figure 15 over the given workloads.
+
+    All runs are submitted through ``runner`` (a fresh serial, memo-only
+    runner when omitted).  The oracle's re-run is always a job the sweep
+    already computed — the oracle picks one of the sweep's own thread
+    counts — so even without a disk cache it is a memo hit, not a second
+    simulation.
+    """
     cfg = config or MachineConfig.asplos08_baseline()
+    runner = runner or JobRunner()
     per_wl = dict(DEFAULT_SCALES)
     if scales:
         per_wl.update(scales)
     rows = []
     for name in workloads:
-        spec = get(name)
         wl_scale = per_wl.get(name, scale)
-        sweep = sweep_threads(lambda: spec.build(wl_scale), thread_counts, cfg)
+        ref = WorkloadRef(name=name, scale=wl_scale)
+        sweep = sweep_threads(ref, thread_counts, cfg, runner=runner)
         oracle = oracle_choice(sweep)
         baseline = sweep.points[-1]  # the 32-thread point
-        fdt = run_application(spec.build(wl_scale),
-                              FdtPolicy(FdtMode.COMBINED), cfg)
-        oracle_run = run_application(spec.build(wl_scale),
-                                     StaticPolicy(oracle.threads), cfg)
+        fdt = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.fdt(), config=cfg))
+        oracle_run = runner.run_one(
+            JobSpec(workload=ref, policy=PolicySpec.static(oracle.threads),
+                    config=cfg))
         rows.append(OracleRow(
             workload=name,
             oracle_threads=oracle.threads,

@@ -1,0 +1,134 @@
+"""The job runner: cache lookup, deduplication, execution, manifest.
+
+:class:`JobRunner` is the facade the sweeps, figures, and the ``batch``
+CLI submit through.  For every batch it:
+
+1. deduplicates specs by content key (a run shared by two figures — or
+   by a sweep point and an oracle re-run — simulates once);
+2. resolves keys against the in-memory memo, then the on-disk cache;
+3. executes the remaining misses on the configured backend;
+4. stores fresh results, records a manifest entry per job, and returns
+   results **in submission order**.
+
+All results — hits and fresh computations alike — pass through the
+serialize/deserialize round trip of :mod:`repro.jobs.results`, so the
+cached, pooled, and serial paths are exercised identically and parity
+is a structural property, not an accident of which path ran.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import JobError
+from repro.fdt.runner import AppRunResult
+from repro.jobs.cache import ResultCache
+from repro.jobs.executor import execute_jobs
+from repro.jobs.manifest import ManifestEntry, RunManifest
+from repro.jobs.results import app_result_from_dict
+from repro.jobs.spec import JobSpec
+
+
+class JobRunner:
+    """Executes job specs through the memo -> cache -> backend chain.
+
+    Args:
+        cache: on-disk result cache, or ``None`` for memo-only operation
+            (results are still deduplicated within this runner's life).
+        jobs: worker processes; ``1`` (the default) runs in-process.
+        timeout: per-job seconds before a pooled job is abandoned.
+        retries: extra pool rounds for jobs whose worker crashed.
+        manifest: manifest to append to (a fresh one when omitted).
+    """
+
+    def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
+                 timeout: float | None = None, retries: int = 1,
+                 manifest: RunManifest | None = None) -> None:
+        self.cache = cache
+        self.jobs = max(1, jobs)
+        self.timeout = timeout
+        self.retries = retries
+        self.manifest = manifest if manifest is not None else RunManifest()
+        self._memo: dict[str, dict] = {}
+
+    def run_one(self, spec: JobSpec) -> AppRunResult:
+        """Resolve a single spec (see :meth:`run`)."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[JobSpec]) -> list[AppRunResult]:
+        """Resolve every spec, returning results in submission order.
+
+        Raises:
+            JobError: if any job failed or timed out in every attempt;
+                the manifest still records every entry.
+        """
+        keys = [spec.key() for spec in specs]
+        misses: list[tuple[str, JobSpec]] = []
+        seen: set[str] = set()
+        for key, spec in zip(keys, specs):
+            if key in self._memo:
+                self._record(key, spec, status="hit", backend="memo")
+                continue
+            if key in seen:
+                continue
+            cached = self._load_cached(key)
+            if cached is not None:
+                self._memo[key] = cached
+                self._record(key, spec, status="hit", backend="cache")
+            else:
+                seen.add(key)
+                misses.append((key, spec))
+        if misses:
+            self._compute(misses)
+        return [app_result_from_dict(self._memo[key]) for key in keys]
+
+    # -- internals ---------------------------------------------------------
+
+    def _load_cached(self, key: str) -> dict | None:
+        """Cache lookup that also validates the entry deserializes."""
+        if self.cache is None:
+            return None
+        data = self.cache.get(key)
+        if data is None:
+            return None
+        try:
+            app_result_from_dict(data)
+        except Exception:
+            # Parses as JSON but not as a result: corrupt -> recompute.
+            return None
+        return data
+
+    def _compute(self, misses: list[tuple[str, JobSpec]]) -> None:
+        outcomes = execute_jobs([spec for _, spec in misses],
+                                jobs=self.jobs, timeout=self.timeout,
+                                retries=self.retries)
+        failures: list[str] = []
+        for (key, spec), outcome in zip(misses, outcomes):
+            if outcome.ok and outcome.result is not None:
+                self._memo[key] = outcome.result
+                if self.cache is not None:
+                    self.cache.put(key, spec.to_dict(), outcome.result)
+                self._record(key, spec, status="computed",
+                             backend=outcome.backend,
+                             wall_time=outcome.wall_time)
+            else:
+                self._record(key, spec, status=outcome.status,
+                             backend=outcome.backend,
+                             wall_time=outcome.wall_time,
+                             error=outcome.error)
+                failures.append(f"{spec.label}: {outcome.error}")
+        if failures:
+            raise JobError(
+                f"{len(failures)} job(s) failed: " + "; ".join(failures))
+
+    def _record(self, key: str, spec: JobSpec, status: str, backend: str,
+                wall_time: float = 0.0, error: str = "") -> None:
+        self.manifest.record(ManifestEntry(
+            key=key,
+            workload=spec.workload.label,
+            policy=spec.policy.label,
+            status=status,
+            backend=backend,
+            wall_time=wall_time,
+            error=error,
+        ))

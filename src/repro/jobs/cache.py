@@ -1,0 +1,112 @@
+"""Content-addressed, schema-versioned on-disk result cache.
+
+Layout::
+
+    <root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json
+
+Each entry is a strict-JSON document ``{"schema", "key", "spec",
+"result"}`` — the spec is stored alongside the result so entries are
+self-describing (``repro``-independent tools can inspect what a hash
+means).  The schema version appears both in the directory name and
+inside the file: entries written by an older (or newer) encoding are
+simply never found, so stale results self-invalidate without any
+migration logic.
+
+Corruption is treated as a miss, never an error: a truncated file, a
+garbage byte, a schema/key mismatch, or an unreadable entry makes
+:meth:`ResultCache.get` return ``None`` (after best-effort deletion of
+the bad file) and the caller recomputes.  Writes are atomic
+(temp file + ``os.replace``) so a crashed writer can leave at worst a
+stray temp file, never a half-written entry under the final name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.jobs.spec import SCHEMA_VERSION
+
+
+def default_cache_dir() -> Path:
+    """The cache root used when no ``--cache-dir`` is given.
+
+    ``$REPRO_CACHE_DIR`` wins, then ``$XDG_CACHE_HOME/repro``, then
+    ``~/.cache/repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Key -> serialized-result store under one root directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self._root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, key: str) -> Path:
+        """The entry file a key maps to (whether or not it exists)."""
+        return self._root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored result dict, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != SCHEMA_VERSION
+                or payload.get("key") != key
+                or not isinstance(payload.get("result"), dict)):
+            self._discard(path)
+            return None
+        return payload["result"]
+
+    def put(self, key: str, spec: dict, result: dict) -> None:
+        """Atomically store a result (spec kept for self-description)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "spec": spec,
+            "result": result,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            self._discard(Path(tmp_name))
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently stored (current schema only)."""
+        version_dir = self._root / f"v{SCHEMA_VERSION}"
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*/*.json"))
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

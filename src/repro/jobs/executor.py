@@ -1,0 +1,168 @@
+"""Job execution backends: in-process serial and process-pool parallel.
+
+Every complete simulation is independent, so a batch of jobs is
+embarrassingly parallel.  :func:`execute_jobs` picks the backend:
+
+* ``jobs <= 1`` (or a single spec) runs serially in-process;
+* otherwise a :class:`concurrent.futures.ProcessPoolExecutor` fans the
+  specs out, with three failure safety valves:
+
+  - **spawn failure** (the pool cannot be created or fed — restricted
+    sandboxes, missing semaphores): the whole batch gracefully falls
+    back to the serial backend;
+  - **crashed workers** (``BrokenProcessPool``): the affected jobs are
+    retried in a fresh pool up to ``retries`` extra rounds, then
+    reported as failed — never re-run in-process, since whatever killed
+    the worker would kill the caller too;
+  - **per-job timeout**: a job that produces no result within
+    ``timeout`` seconds of being waited on is reported as timed out and
+    its future cancelled (best effort — an already-running worker task
+    cannot be interrupted, so the pool is shut down without waiting).
+
+Results cross the process boundary as the JSON-safe dicts of
+:mod:`repro.jobs.results`, so nothing pickles except primitives and the
+module-level entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent import futures
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.jobs.results import app_result_to_dict
+from repro.jobs.spec import JobSpec
+
+#: Outcome status values (``"ok"`` is the only success).
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True, slots=True)
+class JobOutcome:
+    """What one execution attempt chain produced for one spec."""
+
+    key: str
+    status: str
+    #: Serialized result dict (``None`` unless status is ``"ok"``).
+    result: dict | None
+    error: str = ""
+    #: Seconds of wall time: in-worker execution time for completed
+    #: jobs, wait time for timeouts.
+    wall_time: float = 0.0
+    #: Backend that produced (or abandoned) the job:
+    #: ``serial`` | ``pool`` | ``serial-fallback``.
+    backend: str = "serial"
+    #: Pool rounds consumed (1 unless crashed workers forced retries).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def _execute_payload(spec_dict: dict) -> dict:
+    """Run one job from its dict form and serialize the outcome."""
+    spec = JobSpec.from_dict(spec_dict)
+    return app_result_to_dict(spec.run())
+
+
+def _pool_entry(spec_dict: dict) -> dict:
+    """Worker-side wrapper: run the job and report its execution time."""
+    started = time.perf_counter()
+    result = _execute_payload(spec_dict)
+    return {"result": result, "elapsed": time.perf_counter() - started}
+
+
+def run_serial(specs: Sequence[JobSpec],
+               backend: str = "serial") -> list[JobOutcome]:
+    """Execute every spec in-process, in order."""
+    outcomes = []
+    for spec in specs:
+        key = spec.key()
+        started = time.perf_counter()
+        try:
+            result = _execute_payload(spec.to_dict())
+        except Exception as exc:
+            outcomes.append(JobOutcome(
+                key=key, status=STATUS_FAILED, result=None,
+                error=f"{type(exc).__name__}: {exc}",
+                wall_time=time.perf_counter() - started, backend=backend))
+        else:
+            outcomes.append(JobOutcome(
+                key=key, status=STATUS_OK, result=result,
+                wall_time=time.perf_counter() - started, backend=backend))
+    return outcomes
+
+
+def run_parallel(specs: Sequence[JobSpec], jobs: int,
+                 timeout: float | None = None,
+                 retries: int = 1) -> list[JobOutcome]:
+    """Execute specs in a process pool (see module docstring)."""
+    outcomes: dict[int, JobOutcome] = {}
+    pending = list(range(len(specs)))
+    rounds = 0
+    crash_error = ""
+    while pending and rounds <= max(0, retries):
+        rounds += 1
+        try:
+            pool = futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)))
+            futs = {pool.submit(_pool_entry, specs[i].to_dict()): i
+                    for i in pending}
+        except Exception:
+            # The pool could not be created or fed at all: run the rest
+            # serially rather than failing the batch.
+            for i, outcome in zip(pending, run_serial(
+                    [specs[i] for i in pending], backend="serial-fallback")):
+                outcomes[i] = replace(outcome, attempts=rounds)
+            pending = []
+            break
+        retry_next: list[int] = []
+        timed_out = False
+        for fut, i in futs.items():
+            started = time.perf_counter()
+            try:
+                payload = fut.result(timeout=timeout)
+            except futures.TimeoutError:
+                fut.cancel()
+                timed_out = True
+                outcomes[i] = JobOutcome(
+                    key=specs[i].key(), status=STATUS_TIMEOUT, result=None,
+                    error=f"no result within {timeout}s",
+                    wall_time=time.perf_counter() - started,
+                    backend="pool", attempts=rounds)
+            except futures.BrokenExecutor as exc:
+                crash_error = f"{type(exc).__name__}: {exc}"
+                retry_next.append(i)
+            except Exception as exc:
+                outcomes[i] = JobOutcome(
+                    key=specs[i].key(), status=STATUS_FAILED, result=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall_time=time.perf_counter() - started,
+                    backend="pool", attempts=rounds)
+            else:
+                outcomes[i] = JobOutcome(
+                    key=specs[i].key(), status=STATUS_OK,
+                    result=payload["result"], wall_time=payload["elapsed"],
+                    backend="pool", attempts=rounds)
+        # A timed-out task cannot be interrupted; don't wait on it.
+        pool.shutdown(wait=not timed_out, cancel_futures=True)
+        pending = retry_next
+    for i in pending:  # crashed in every round
+        outcomes[i] = JobOutcome(
+            key=specs[i].key(), status=STATUS_FAILED, result=None,
+            error=f"worker crashed in {rounds} attempt(s): {crash_error}",
+            backend="pool", attempts=rounds)
+    return [outcomes[i] for i in range(len(specs))]
+
+
+def execute_jobs(specs: Sequence[JobSpec], jobs: int = 1,
+                 timeout: float | None = None,
+                 retries: int = 1) -> list[JobOutcome]:
+    """Execute specs with the right backend for the requested width."""
+    if jobs <= 1 or len(specs) <= 1:
+        return run_serial(specs)
+    return run_parallel(specs, jobs=jobs, timeout=timeout, retries=retries)

@@ -1,0 +1,102 @@
+"""Run manifests: what every job in a batch did and what it cost.
+
+A :class:`RunManifest` accumulates one :class:`ManifestEntry` per job a
+:class:`~repro.jobs.api.JobRunner` resolved — cache hits included — and
+serializes to strict JSON for post-hoc inspection (which runs were
+recomputed and why, where the wall time went, whether a warm cache
+actually eliminated all simulation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.jobs.spec import SCHEMA_VERSION
+
+#: Entry status values.
+STATUS_HIT = "hit"
+STATUS_COMPUTED = "computed"
+_SUCCESS_STATUSES = (STATUS_HIT, STATUS_COMPUTED)
+
+
+@dataclass(frozen=True, slots=True)
+class ManifestEntry:
+    """One resolved job."""
+
+    key: str
+    workload: str
+    policy: str
+    #: ``hit`` | ``computed`` | ``failed`` | ``timeout``.
+    status: str
+    #: ``cache`` | ``serial`` | ``pool`` | ``serial-fallback``.
+    backend: str
+    wall_time: float = 0.0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "policy": self.policy,
+            "status": self.status,
+            "backend": self.backend,
+            "wall_time": round(self.wall_time, 6),
+            "error": self.error,
+        }
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """Accumulated record of one batch run."""
+
+    entries: list[ManifestEntry] = field(default_factory=list)
+
+    def record(self, entry: ManifestEntry) -> None:
+        self.entries.append(entry)
+
+    @property
+    def counts(self) -> dict:
+        """Totals by outcome (``failed`` includes timeouts)."""
+        hits = sum(1 for e in self.entries if e.status == STATUS_HIT)
+        computed = sum(1 for e in self.entries
+                       if e.status == STATUS_COMPUTED)
+        failed = sum(1 for e in self.entries
+                     if e.status not in _SUCCESS_STATUSES)
+        return {
+            "total": len(self.entries),
+            "hits": hits,
+            "computed": computed,
+            "failed": failed,
+        }
+
+    @property
+    def wall_time(self) -> float:
+        """Summed per-job wall time (not batch elapsed time)."""
+        return sum(e.wall_time for e in self.entries)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "counts": self.counts,
+            "wall_time": round(self.wall_time, 6),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def write(self, path: str | Path) -> None:
+        """Write the manifest as JSON (parent dirs created)."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2) + "\n",
+                          encoding="utf-8")
+
+    def summary(self) -> str:
+        """One line for humans: totals and simulation wall time."""
+        c = self.counts
+        line = (f"{c['total']} job(s): {c['hits']} cache hit(s), "
+                f"{c['computed']} computed")
+        if c["failed"]:
+            line += f", {c['failed']} FAILED"
+        return f"{line}; {self.wall_time:.2f}s simulated work"

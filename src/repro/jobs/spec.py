@@ -1,0 +1,237 @@
+"""Job specifications: one complete simulation, canonically serialized.
+
+A :class:`JobSpec` names everything a run depends on — the workload
+(:class:`WorkloadRef`), the threading policy (:class:`PolicySpec`), and
+the :class:`~repro.sim.config.MachineConfig` — and nothing it does not.
+Because the simulator is deterministic, that triple fully determines the
+run's outputs, so its canonical JSON form (sorted keys, no whitespace)
+hashed with SHA-256 is a sound content address for the result cache.
+
+The schema version is part of the hashed payload *and* of the cache
+directory layout: bump :data:`SCHEMA_VERSION` whenever the simulator's
+timing model, the result serialization, or the spec encoding changes,
+and every stale cache entry self-invalidates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+
+from repro.errors import JobError
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
+from repro.fdt.runner import Application, AppRunResult, run_application
+from repro.sim.config import MachineConfig, SanitizerConfig
+
+#: Version tag of the job-spec encoding and result serialization.
+#: Bump on any change that alters simulated outputs or their encoding.
+SCHEMA_VERSION = 1
+
+_WORKLOAD_KINDS = ("registry", "synthetic")
+_POLICY_KINDS = ("static", "fdt", "sat", "bat")
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadRef:
+    """A declarative, hashable reference to an application to build.
+
+    ``kind="registry"`` names a Table 2 workload by its registry name;
+    ``kind="synthetic"`` describes a :func:`~repro.workloads.synthetic.
+    build_synthetic` kernel by its knobs (the crossover study's case).
+    Unlike an ``AppFactory`` callable, a ref can cross process
+    boundaries and contributes to the job's content hash.
+    """
+
+    name: str
+    scale: float = 1.0
+    kind: str = "registry"
+    # -- synthetic knobs (used only when kind == "synthetic") ----------
+    cs_fraction: float = 0.0
+    bus_lines: int = 0
+    iterations: int = 128
+    compute_instr: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKLOAD_KINDS:
+            raise JobError(f"unknown workload kind {self.kind!r}")
+        if not self.name:
+            raise JobError("workload name must be non-empty")
+
+    @classmethod
+    def registry(cls, name: str, scale: float = 1.0) -> "WorkloadRef":
+        """Reference a Table 2 workload by registry name."""
+        return cls(name=name, scale=scale)
+
+    @classmethod
+    def synthetic(cls, cs_fraction: float = 0.0, bus_lines: int = 0,
+                  iterations: int = 128, compute_instr: int = 20_000,
+                  name: str = "synthetic") -> "WorkloadRef":
+        """Reference a dial-a-limiter synthetic kernel by its knobs."""
+        return cls(name=name, kind="synthetic", cs_fraction=cs_fraction,
+                   bus_lines=bus_lines, iterations=iterations,
+                   compute_instr=compute_instr)
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for tables and manifests."""
+        if self.kind == "synthetic":
+            return (f"{self.name}(cs={self.cs_fraction}, "
+                    f"lines={self.bus_lines}, iters={self.iterations})")
+        return f"{self.name}@{self.scale:g}"
+
+    def build(self) -> Application:
+        """Materialize the application (real computed kernel state)."""
+        if self.kind == "synthetic":
+            from repro.workloads.synthetic import build_synthetic
+            return build_synthetic(cs_fraction=self.cs_fraction,
+                                   bus_lines=self.bus_lines,
+                                   iterations=self.iterations,
+                                   compute_instr=self.compute_instr,
+                                   name=self.name)
+        from repro.workloads import get
+        return get(self.name).build(self.scale)
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadRef":
+        return cls(**data)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicySpec:
+    """A declarative, hashable reference to a threading policy.
+
+    ``threads`` is meaningful only for ``kind="static"``; ``None`` keeps
+    :class:`~repro.fdt.policies.StaticPolicy`'s one-thread-per-core
+    default (and its distinct ``static-ncores`` policy name, so the two
+    spellings hash — and report — differently, exactly as they do when
+    constructed directly).
+    """
+
+    kind: str
+    threads: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _POLICY_KINDS:
+            raise JobError(f"unknown policy kind {self.kind!r}")
+        if self.threads is not None and self.kind != "static":
+            raise JobError("threads is only meaningful for static policies")
+        if self.threads is not None and self.threads < 1:
+            raise JobError("static thread count must be >= 1")
+
+    @classmethod
+    def static(cls, threads: int | None = None) -> "PolicySpec":
+        return cls(kind="static", threads=threads)
+
+    @classmethod
+    def fdt(cls) -> "PolicySpec":
+        return cls(kind="fdt")
+
+    @classmethod
+    def sat(cls) -> "PolicySpec":
+        return cls(kind="sat")
+
+    @classmethod
+    def bat(cls) -> "PolicySpec":
+        return cls(kind="bat")
+
+    @property
+    def label(self) -> str:
+        if self.kind == "static":
+            return f"static-{self.threads if self.threads else 'ncores'}"
+        return self.kind
+
+    def build(self) -> ThreadingPolicy:
+        """Materialize the policy object."""
+        if self.kind == "static":
+            return StaticPolicy(self.threads)
+        mode = {"fdt": FdtMode.COMBINED, "sat": FdtMode.SAT,
+                "bat": FdtMode.BAT}[self.kind]
+        return FdtPolicy(mode)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "threads": self.threads}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PolicySpec":
+        return cls(**data)
+
+
+def config_to_dict(config: MachineConfig) -> dict:
+    """Flatten a machine config to JSON-safe primitives, field by field."""
+    out: dict = {}
+    for f in fields(MachineConfig):
+        value = getattr(config, f.name)
+        if f.name == "sanitizer":
+            value = None if value is None else _sanitizer_to_dict(value)
+        out[f.name] = value
+    return out
+
+
+def config_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a machine config from :func:`config_to_dict` output."""
+    kwargs = dict(data)
+    if kwargs.get("sanitizer") is not None:
+        kwargs["sanitizer"] = _sanitizer_from_dict(kwargs["sanitizer"])
+    return MachineConfig(**kwargs)
+
+
+def _sanitizer_to_dict(config: SanitizerConfig) -> dict:
+    out = {f.name: getattr(config, f.name) for f in fields(SanitizerConfig)}
+    out["ignore_address_ranges"] = [
+        list(pair) for pair in config.ignore_address_ranges]
+    return out
+
+
+def _sanitizer_from_dict(data: dict) -> SanitizerConfig:
+    kwargs = dict(data)
+    kwargs["ignore_address_ranges"] = tuple(
+        tuple(pair) for pair in kwargs.get("ignore_address_ranges", ()))
+    return SanitizerConfig(**kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One complete simulation: workload x policy x machine."""
+
+    workload: WorkloadRef
+    policy: PolicySpec
+    config: MachineConfig
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload.label} under {self.policy.label}"
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload.to_dict(),
+            "policy": self.policy.to_dict(),
+            "config": config_to_dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        return cls(
+            workload=WorkloadRef.from_dict(data["workload"]),
+            policy=PolicySpec.from_dict(data["policy"]),
+            config=config_from_dict(data["config"]),
+        )
+
+    def key(self) -> str:
+        """Stable content hash of the spec (plus the schema version).
+
+        Canonical form: the :meth:`to_dict` payload with sorted keys and
+        no whitespace.  Floats serialize via ``repr`` so equal configs
+        always produce equal keys.
+        """
+        payload = {"schema": SCHEMA_VERSION, **self.to_dict()}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def run(self) -> AppRunResult:
+        """Execute the job in this process (deterministic)."""
+        return run_application(self.workload.build(), self.policy.build(),
+                               self.config)

@@ -8,6 +8,16 @@ from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch) -> None:
+    """Point the jobs result cache at a per-test directory.
+
+    Keeps tests away from the user's real ~/.cache/repro and gives every
+    test a cold cache, so hit/miss assertions are deterministic.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def baseline_config() -> MachineConfig:
     """The paper's Table 1 machine."""

@@ -139,3 +139,90 @@ def test_run_writes_machine_report(capsys, tmp_path):
     parsed = json.loads(report.read_text())
     assert parsed["cycles"] > 0
     assert parsed["locks"]["acquisitions"] > 0
+
+
+def test_parse_thread_list_rejects_empty():
+    with pytest.raises(ReproError, match="thread list is empty"):
+        _parse_thread_list("")
+    with pytest.raises(ReproError, match="thread list is empty"):
+        _parse_thread_list(" , ,")
+
+
+def test_sweep_empty_thread_list_fails_cleanly(capsys):
+    code = main(["sweep", "EP", "--threads", ""])
+    assert code == 2
+    assert "thread list is empty" in capsys.readouterr().err
+
+
+def test_sweep_warns_on_counts_over_cores(capsys):
+    code = main(["sweep", "EP", "--threads", "1,2,64,128",
+                 "--scale", "0.1"])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "warning" in err
+    assert "64,128" in err
+
+
+def test_run_json_output_is_valid(capsys):
+    import json
+    code, out = run_cli(capsys, "run", "EP", "--policy", "static",
+                        "--threads", "2", "--scale", "0.1", "--json")
+    assert code == 0
+    parsed = json.loads(out)
+    assert parsed["app_name"] == "EP"
+    assert parsed["policy_name"] == "static-2"
+    assert parsed["cycles"] > 0
+    assert parsed["power"] > 0
+
+
+def test_sweep_json_output_is_valid(capsys):
+    import json
+    code, out = run_cli(capsys, "sweep", "EP", "--threads", "1,2",
+                        "--scale", "0.1", "--json")
+    assert code == 0
+    parsed = json.loads(out)
+    assert [p["threads"] for p in parsed["points"]] == [1, 2]
+    assert parsed["best_threads"] in (1, 2)
+    assert parsed["oracle_threads"] in (1, 2)
+
+
+def test_batch_cold_then_warm_manifest_counts(capsys, tmp_path):
+    import json
+    cache = tmp_path / "cache"
+    argv = ["batch", "EP", "--threads", "1,2", "--policies", "static,fdt",
+            "--scale", "0.1", "--cache-dir", str(cache)]
+
+    cold_manifest = tmp_path / "cold.json"
+    code, out = run_cli(capsys, *argv, "--manifest", str(cold_manifest))
+    assert code == 0
+    assert "static-1" in out and "fdt" in out
+    cold = json.loads(cold_manifest.read_text())
+    assert cold["counts"] == {"total": 3, "hits": 0, "computed": 3,
+                              "failed": 0}
+
+    warm_manifest = tmp_path / "warm.json"
+    code, out = run_cli(capsys, *argv, "--json",
+                        "--manifest", str(warm_manifest))
+    assert code == 0
+    parsed = json.loads(out)
+    assert parsed["counts"] == {"total": 3, "hits": 3, "computed": 0,
+                                "failed": 0}
+    assert all(j["status"] == "hit" for j in parsed["jobs"])
+    assert all(j["cycles"] > 0 for j in parsed["jobs"])
+
+
+def test_batch_rejects_unknown_policy(capsys):
+    code = main(["batch", "EP", "--policies", "oracle"])
+    assert code == 2
+    assert "unknown policy" in capsys.readouterr().err
+
+
+def test_batch_no_cache_always_computes(capsys, tmp_path):
+    import json
+    manifest = tmp_path / "m.json"
+    code, _ = run_cli(capsys, "batch", "EP", "--threads", "1",
+                      "--policies", "static", "--scale", "0.1",
+                      "--no-cache", "--manifest", str(manifest))
+    assert code == 0
+    counts = json.loads(manifest.read_text())["counts"]
+    assert counts == {"total": 1, "hits": 0, "computed": 1, "failed": 0}

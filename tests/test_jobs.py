@@ -1,0 +1,173 @@
+"""Unit tests for the job-spec, serialization, and cache layers."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import JobError
+from repro.fdt.estimators import Estimates
+from repro.fdt.policies import StaticPolicy
+from repro.fdt.runner import run_application
+from repro.jobs import (
+    SCHEMA_VERSION,
+    JobSpec,
+    PolicySpec,
+    ResultCache,
+    WorkloadRef,
+    app_result_from_dict,
+    app_result_to_dict,
+    config_from_dict,
+    config_to_dict,
+    default_cache_dir,
+)
+from repro.jobs.results import estimates_from_dict, estimates_to_dict
+from repro.sim.config import MachineConfig, SanitizerConfig
+from repro.workloads import get
+
+
+def ep_spec(threads: int = 2, scale: float = 0.1,
+            config: MachineConfig | None = None) -> JobSpec:
+    return JobSpec(
+        workload=WorkloadRef(name="EP", scale=scale),
+        policy=PolicySpec.static(threads),
+        config=config or MachineConfig.asplos08_baseline(),
+    )
+
+
+# -- specs and keys ----------------------------------------------------------
+
+def test_key_is_stable_and_content_addressed():
+    assert ep_spec().key() == ep_spec().key()
+    assert len(ep_spec().key()) == 64  # sha256 hex
+
+
+@pytest.mark.parametrize("other", [
+    ep_spec(threads=4),
+    ep_spec(scale=0.2),
+    ep_spec(config=MachineConfig.asplos08_baseline().with_cores(16)),
+    JobSpec(workload=WorkloadRef(name="PageMine", scale=0.1),
+            policy=PolicySpec.static(2),
+            config=MachineConfig.asplos08_baseline()),
+    JobSpec(workload=WorkloadRef(name="EP", scale=0.1),
+            policy=PolicySpec.sat(),
+            config=MachineConfig.asplos08_baseline()),
+])
+def test_key_changes_with_any_input(other: JobSpec):
+    assert other.key() != ep_spec().key()
+
+
+def test_static_none_and_explicit_threads_hash_differently():
+    # static-ncores and static-32 run identically on a 32-core machine
+    # but carry different policy names, so they must not share a key.
+    assert (ep_spec(threads=None).key() != ep_spec(threads=32).key())
+
+
+def test_spec_round_trips_through_dict():
+    spec = ep_spec()
+    clone = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    assert clone.key() == spec.key()
+
+
+def test_synthetic_ref_round_trips_and_builds():
+    ref = WorkloadRef.synthetic(cs_fraction=0.05, bus_lines=16,
+                                iterations=32)
+    assert WorkloadRef.from_dict(ref.to_dict()) == ref
+    app = ref.build()
+    assert app.kernels[0].total_iterations == 32
+    assert "cs=0.05" in ref.label
+
+
+def test_config_round_trips_including_sanitizer():
+    cfg = MachineConfig.small().with_sanitizer(SanitizerConfig(
+        ignore_address_ranges=((0, 64), (128, 256))))
+    clone = config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+    assert clone == cfg
+
+
+def test_invalid_specs_rejected():
+    with pytest.raises(JobError):
+        WorkloadRef(name="EP", kind="nope")
+    with pytest.raises(JobError):
+        PolicySpec(kind="oracle")
+    with pytest.raises(JobError):
+        PolicySpec(kind="sat", threads=4)
+    with pytest.raises(JobError):
+        PolicySpec.static(0)
+
+
+def test_policy_labels():
+    assert PolicySpec.static(7).label == "static-7"
+    assert PolicySpec.static().label == "static-ncores"
+    assert PolicySpec.bat().label == "bat"
+
+
+# -- result serialization -----------------------------------------------------
+
+def test_app_result_round_trip_is_exact():
+    res = run_application(get("EP").build(0.1), StaticPolicy(2),
+                          MachineConfig.asplos08_baseline())
+    data = json.loads(json.dumps(app_result_to_dict(res)))
+    assert app_result_from_dict(data) == res
+
+
+def test_estimates_round_trip_preserves_infinities():
+    est = Estimates(t_cs=0.0, t_nocs=123.5, bu1=0.0,
+                    p_cs_real=math.inf, p_bw_real=math.inf,
+                    p_cs=32, p_bw=32, p_fdt=32)
+    data = json.loads(json.dumps(estimates_to_dict(est)))
+    assert data["p_cs_real"] == "inf"  # strict JSON, no Infinity literal
+    assert estimates_from_dict(data) == est
+
+
+# -- the cache ----------------------------------------------------------------
+
+def test_cache_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = ep_spec()
+    result = {"app_name": "EP", "policy_name": "static-2",
+              "kernel_infos": []}
+    cache.put(spec.key(), spec.to_dict(), result)
+    assert cache.get(spec.key()) == result
+    assert len(cache) == 1
+    assert cache.get("0" * 64) is None  # miss
+
+
+def test_cache_entry_is_schema_tagged(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ep_spec().key()
+    cache.put(key, {}, {"x": 1})
+    path = cache.path_for(key)
+    assert f"v{SCHEMA_VERSION}" in str(path)
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == SCHEMA_VERSION
+    assert payload["key"] == key
+
+
+@pytest.mark.parametrize("garbage", [
+    "",                                  # truncated to nothing
+    '{"schema": 1, "key": ',             # truncated mid-JSON
+    "not json at all \x00",              # garbage bytes
+    '{"schema": 999, "key": "k", "result": {}}',   # foreign schema
+    '{"schema": 1, "key": "wrong", "result": {}}',  # key mismatch
+    '[1, 2, 3]',                         # wrong shape
+    '{"schema": 1, "result": "str"}',    # non-dict result
+])
+def test_cache_corruption_is_a_miss_not_a_crash(tmp_path, garbage):
+    cache = ResultCache(tmp_path)
+    key = ep_spec().key()
+    cache.put(key, {}, {"x": 1})
+    cache.path_for(key).write_text(garbage)
+    assert cache.get(key) is None
+    assert not cache.path_for(key).exists()  # bad entry discarded
+
+
+def test_cache_default_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro"
