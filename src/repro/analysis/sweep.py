@@ -40,6 +40,10 @@ class ThreadPoint:
     cycles: int
     power: float
     bus_utilization: float
+    # Defaulted so constructors predating these fields keep working.
+    spin_core_cycles: int = 0
+    ipc: float = 0.0
+    energy: float = 0.0
 
     def normalized(self, base_cycles: int) -> float:
         """Execution time relative to ``base_cycles``."""
@@ -107,6 +111,9 @@ def _point_from_result(threads: int, res: AppRunResult) -> ThreadPoint:
         cycles=res.cycles,
         power=r.power,
         bus_utilization=r.bus_utilization,
+        spin_core_cycles=r.spin_core_cycles,
+        ipc=r.ipc,
+        energy=r.energy,
     )
 
 

@@ -13,6 +13,8 @@ Usage (after ``pip install -e .``)::
     python -m repro machine                      # Table 1 dump
     python -m repro check PageMine               # thread-sanitize a workload
     python -m repro check synthetic-racy --json  # positive control, JSON out
+    python -m repro trace PageMine --out tr/     # record + export a trace
+    python -m repro run EP --trace tr/           # same, via the run command
 
 Every command accepts ``--scale`` (input-set scaling) and the machine
 knobs ``--cores`` and ``--bandwidth``.  ``check`` exits 0 when the
@@ -114,7 +116,8 @@ def _warn_counts_over_cores(counts: Sequence[int],
 def _make_runner(args: argparse.Namespace) -> JobRunner:
     """Build the job runner the jobs-aware commands share."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return JobRunner(cache=cache, jobs=args.jobs, timeout=args.timeout)
+    return JobRunner(cache=cache, jobs=args.jobs, timeout=args.timeout,
+                     trace_dir=getattr(args, "trace_dir", None))
 
 
 def _finish_jobs(args: argparse.Namespace, runner: JobRunner,
@@ -143,18 +146,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _machine_config(args)
     spec = get(args.workload)
     machine = None
-    if args.report is not None:
+    if args.trace is not None:
+        config = config.with_trace()
+    if args.report is not None or args.trace is not None:
         from repro.sim.machine import Machine
         machine = Machine(config)
     result = run_application(spec.build(args.scale), _policy(args), config,
                              machine=machine)
+    trace_paths = None
+    if args.trace is not None and machine is not None \
+            and machine.trace is not None:
+        from repro.trace import write_artifacts
+        trace_paths = write_artifacts(machine.trace.data, args.trace)
     if args.json:
+        r = result.result
         payload = app_result_to_dict(result)
         payload.update(
             cycles=result.cycles,
             power=result.power,
-            bus_utilization=result.result.bus_utilization,
+            bus_utilization=r.bus_utilization,
+            spin_core_cycles=r.spin_core_cycles,
+            ipc=r.ipc,
+            energy=r.energy,
         )
+        if trace_paths is not None:
+            payload["trace"] = {name: str(path)
+                                for name, path in trace_paths.items()}
         print(json.dumps(payload, indent=2))
         return 0
     print(f"{spec.name} under {result.policy_name} "
@@ -176,6 +193,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.analysis.inspection import machine_report_json
         Path(args.report).write_text(machine_report_json(machine))
         print(f"machine report written to {args.report}")
+    if trace_paths is not None:
+        print(f"trace artifacts written to {args.trace}")
     return 0
 
 
@@ -194,7 +213,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "points": [{"threads": p.threads, "cycles": p.cycles,
                         "power": p.power,
-                        "bus_utilization": p.bus_utilization}
+                        "bus_utilization": p.bus_utilization,
+                        "spin_core_cycles": p.spin_core_cycles,
+                        "ipc": p.ipc,
+                        "energy": p.energy}
                        for p in sweep.points],
             "best_threads": sweep.best_threads,
             "oracle_threads": oracle.threads,
@@ -228,6 +250,41 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         print(format_findings(report))
     return 0 if report.clean else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.config import TraceConfig
+    from repro.trace import text_summary, run_traced, write_artifacts
+
+    config = _machine_config(args)
+    spec = get(args.workload)
+    trace_config = TraceConfig(sample_interval=args.sample_interval)
+    traced = run_traced(spec.build(args.scale), _policy(args), config,
+                        trace_config=trace_config)
+    paths = write_artifacts(traced.trace, args.out)
+    if args.json:
+        t = traced.trace
+        print(json.dumps({
+            "workload": spec.name,
+            "policy": traced.result.policy_name,
+            "cycles": traced.result.cycles,
+            "power": traced.result.power,
+            "spans": len(t.spans),
+            "samples": len(t.samples),
+            "marks": len(t.marks),
+            "decisions": len(t.decisions),
+            "dropped_spans": t.dropped_spans,
+            "dropped_samples": t.dropped_samples,
+            "artifacts": {name: str(path) for name, path in paths.items()},
+        }, indent=2))
+        return 0
+    print(f"{spec.name} under {traced.result.policy_name}: "
+          f"{traced.result.cycles:,} cycles")
+    print(text_summary(traced.trace))
+    print(f"artifacts written to {args.out}:")
+    for name, path in sorted(paths.items()):
+        print(f"  {name}: {path}")
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -348,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "status, wall time, cache hit/miss)")
         p.add_argument("--timeout", type=float, default=None, metavar="SEC",
                        help="per-job timeout for --jobs > 1")
+        p.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="record a trace for every computed job and "
+                            "write its artifacts under DIR/<job key>/ "
+                            "(cache hits are not re-traced)")
 
     p_list = sub.add_parser("list", help="list the Table 2 workloads")
     p_list.set_defaults(func=_cmd_list)
@@ -364,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="thread count for --policy static")
     p_run.add_argument("--report", default=None, metavar="FILE",
                        help="write the full machine-stats JSON to FILE")
+    p_run.add_argument("--trace", default=None, metavar="DIR",
+                       help="record a trace and write its artifacts "
+                            "(Perfetto JSON, counters CSV, decision log, "
+                            "summary) to DIR")
     p_run.add_argument("--json", action="store_true",
                        help="print the machine-readable run result")
     add_machine_args(p_run)
@@ -394,6 +459,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the machine-readable findings report")
     add_machine_args(p_check)
     p_check.set_defaults(func=_cmd_check)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one workload with the tracer attached and export "
+             "Perfetto/CSV/decision-log artifacts")
+    p_trace.add_argument("workload", help="Table 2 workload name")
+    p_trace.add_argument("--policy", choices=("fdt", "sat", "bat", "static"),
+                         default="fdt")
+    p_trace.add_argument("--threads", type=int, default=None,
+                         help="thread count for --policy static")
+    p_trace.add_argument("--sample-interval", type=int, default=1000,
+                         metavar="CYCLES",
+                         help="counter-sample spacing (default 1000)")
+    p_trace.add_argument("--out", default="trace-out", metavar="DIR",
+                         help="artifact directory (default: trace-out)")
+    p_trace.add_argument("--json", action="store_true",
+                         help="print the machine-readable trace summary")
+    add_machine_args(p_trace)
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIGURES))

@@ -140,6 +140,8 @@ class FdtPolicy(ThreadingPolicy):
             config=self.training,
             total_iterations=total,
             num_cores=slots,
+            kernel_name=kernel.name,
+            trace=machine.trace,
         )
         train_region = machine.run_serial(
             lambda tid, team: instrumented_training_program(
@@ -148,6 +150,10 @@ class FdtPolicy(ThreadingPolicy):
         # -- estimation ---------------------------------------------------
         estimates = estimate(log, slots)
         threads = self.decide(estimates)
+        if machine.trace is not None:
+            machine.trace.on_fdt_decision(
+                kernel.name, self.name, self.mode.value, log, estimates,
+                threads, slots, machine.events.now)
 
         # -- execution: remaining iterations on the chosen team ------------
         remaining = range(log.trained_iterations, total)

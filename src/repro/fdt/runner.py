@@ -88,9 +88,18 @@ def run_application(app: Application, policy: ThreadingPolicy,
     """
     if machine is None:
         machine = Machine(config or MachineConfig.asplos08_baseline())
-    infos = tuple(policy.run_kernel(machine, k) for k in app.kernels)
+    if machine.trace is not None:
+        machine.trace.on_app_begin(app.name, policy.name, machine.events.now)
+    infos = []
+    for k in app.kernels:
+        info = policy.run_kernel(machine, k)
+        if machine.trace is not None:
+            machine.trace.on_kernel_complete(
+                k.name, info.threads, info.training_cycles,
+                info.execution_cycles, machine.events.now)
+        infos.append(info)
     return AppRunResult(
         app_name=app.name,
         policy_name=policy.name,
-        kernel_infos=infos,
+        kernel_infos=tuple(infos),
     )

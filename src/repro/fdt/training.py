@@ -18,11 +18,14 @@ applies the paper's three termination rules *during* the simulated run:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import TrainingError
 from repro.fdt.kernel import Kernel
 from repro.isa.ops import CounterKind, Lock, Op, ReadCounter, Unlock
+
+if TYPE_CHECKING:  # pragma: no cover - break the fdt <-> trace cycle
+    from repro.trace.events import TraceHooks
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,12 +96,18 @@ class TrainingLog:
     num_cores: int
     samples: list[TrainingSample] = field(default_factory=list)
     stop_reason: str = ""
+    #: Kernel this log trains (labels trace marks; "" when untraced).
+    kernel_name: str = ""
+    #: Trace observer (repro.trace); never affects termination rules.
+    trace: "TraceHooks | None" = None
 
     # -- recording (called from inside the simulated program) ----------------
 
     def record(self, sample: TrainingSample) -> bool:
         """Add a sample; return True when training should terminate."""
         self.samples.append(sample)
+        if self.trace is not None:
+            self.trace.on_training_sample(self.kernel_name, sample)
         if len(self.samples) >= self.config.max_training_iterations(
                 self.total_iterations):
             self.stop_reason = "iteration-cap"

@@ -39,16 +39,23 @@ class JobRunner:
         timeout: per-job seconds before a pooled job is abandoned.
         retries: extra pool rounds for jobs whose worker crashed.
         manifest: manifest to append to (a fresh one when omitted).
+        trace_dir: when given, every *computed* job records a trace
+            (:mod:`repro.trace`) and writes its artifacts under
+            ``trace_dir/<job key>/``; the manifest entry carries the
+            path.  Cache and memo hits are never re-simulated, so they
+            produce no trace — use ``cache=None`` to trace everything.
     """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  timeout: float | None = None, retries: int = 1,
-                 manifest: RunManifest | None = None) -> None:
+                 manifest: RunManifest | None = None,
+                 trace_dir: str | None = None) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = retries
         self.manifest = manifest if manifest is not None else RunManifest()
+        self.trace_dir = trace_dir
         self._memo: dict[str, dict] = {}
 
     def run_one(self, spec: JobSpec) -> AppRunResult:
@@ -101,7 +108,8 @@ class JobRunner:
     def _compute(self, misses: list[tuple[str, JobSpec]]) -> None:
         outcomes = execute_jobs([spec for _, spec in misses],
                                 jobs=self.jobs, timeout=self.timeout,
-                                retries=self.retries)
+                                retries=self.retries,
+                                trace_dir=self.trace_dir)
         failures: list[str] = []
         for (key, spec), outcome in zip(misses, outcomes):
             if outcome.ok and outcome.result is not None:
@@ -110,7 +118,8 @@ class JobRunner:
                     self.cache.put(key, spec.to_dict(), outcome.result)
                 self._record(key, spec, status="computed",
                              backend=outcome.backend,
-                             wall_time=outcome.wall_time)
+                             wall_time=outcome.wall_time,
+                             trace_path=outcome.trace_path)
             else:
                 self._record(key, spec, status=outcome.status,
                              backend=outcome.backend,
@@ -122,7 +131,8 @@ class JobRunner:
                 f"{len(failures)} job(s) failed: " + "; ".join(failures))
 
     def _record(self, key: str, spec: JobSpec, status: str, backend: str,
-                wall_time: float = 0.0, error: str = "") -> None:
+                wall_time: float = 0.0, error: str = "",
+                trace_path: str = "") -> None:
         self.manifest.record(ManifestEntry(
             key=key,
             workload=spec.workload.label,
@@ -131,4 +141,5 @@ class JobRunner:
             backend=backend,
             wall_time=wall_time,
             error=error,
+            trace_path=trace_path,
         ))

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from concurrent import futures
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Sequence
 
 from repro.jobs.results import app_result_to_dict
@@ -57,6 +58,9 @@ class JobOutcome:
     backend: str = "serial"
     #: Pool rounds consumed (1 unless crashed workers forced retries).
     attempts: int = 1
+    #: Directory the job's trace artifacts were written to ("" when the
+    #: batch ran untraced or the job did not complete).
+    trace_path: str = ""
 
     @property
     def ok(self) -> bool:
@@ -69,22 +73,44 @@ def _execute_payload(spec_dict: dict) -> dict:
     return app_result_to_dict(spec.run())
 
 
-def _pool_entry(spec_dict: dict) -> dict:
+def _execute_traced(spec_dict: dict, trace_dir: str) -> dict:
+    """Run one job with a tracer attached, writing its artifacts."""
+    spec = JobSpec.from_dict(spec_dict)
+    return app_result_to_dict(spec.run(trace_dir=trace_dir))
+
+
+def _run_payload(spec_dict: dict, trace_dir: str | None) -> dict:
+    """Dispatch to the traced or plain entry point.
+
+    ``_execute_payload`` keeps its one-argument signature because tests
+    monkeypatch it to inject failures.
+    """
+    if trace_dir is None:
+        return _execute_payload(spec_dict)
+    return _execute_traced(spec_dict, trace_dir)
+
+
+def _trace_path(trace_dir: str | None, key: str) -> str:
+    return "" if trace_dir is None else str(Path(trace_dir) / key)
+
+
+def _pool_entry(spec_dict: dict, trace_dir: str | None = None) -> dict:
     """Worker-side wrapper: run the job and report its execution time."""
     started = time.perf_counter()
-    result = _execute_payload(spec_dict)
+    result = _run_payload(spec_dict, trace_dir)
     return {"result": result, "elapsed": time.perf_counter() - started}
 
 
 def run_serial(specs: Sequence[JobSpec],
-               backend: str = "serial") -> list[JobOutcome]:
+               backend: str = "serial",
+               trace_dir: str | None = None) -> list[JobOutcome]:
     """Execute every spec in-process, in order."""
     outcomes = []
     for spec in specs:
         key = spec.key()
         started = time.perf_counter()
         try:
-            result = _execute_payload(spec.to_dict())
+            result = _run_payload(spec.to_dict(), trace_dir)
         except Exception as exc:
             outcomes.append(JobOutcome(
                 key=key, status=STATUS_FAILED, result=None,
@@ -93,13 +119,15 @@ def run_serial(specs: Sequence[JobSpec],
         else:
             outcomes.append(JobOutcome(
                 key=key, status=STATUS_OK, result=result,
-                wall_time=time.perf_counter() - started, backend=backend))
+                wall_time=time.perf_counter() - started, backend=backend,
+                trace_path=_trace_path(trace_dir, key)))
     return outcomes
 
 
 def run_parallel(specs: Sequence[JobSpec], jobs: int,
                  timeout: float | None = None,
-                 retries: int = 1) -> list[JobOutcome]:
+                 retries: int = 1,
+                 trace_dir: str | None = None) -> list[JobOutcome]:
     """Execute specs in a process pool (see module docstring)."""
     outcomes: dict[int, JobOutcome] = {}
     pending = list(range(len(specs)))
@@ -110,13 +138,15 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
         try:
             pool = futures.ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending)))
-            futs = {pool.submit(_pool_entry, specs[i].to_dict()): i
+            futs = {pool.submit(_pool_entry, specs[i].to_dict(),
+                                trace_dir): i
                     for i in pending}
         except Exception:
             # The pool could not be created or fed at all: run the rest
             # serially rather than failing the batch.
             for i, outcome in zip(pending, run_serial(
-                    [specs[i] for i in pending], backend="serial-fallback")):
+                    [specs[i] for i in pending], backend="serial-fallback",
+                    trace_dir=trace_dir)):
                 outcomes[i] = replace(outcome, attempts=rounds)
             pending = []
             break
@@ -144,10 +174,12 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
                     wall_time=time.perf_counter() - started,
                     backend="pool", attempts=rounds)
             else:
+                key = specs[i].key()
                 outcomes[i] = JobOutcome(
-                    key=specs[i].key(), status=STATUS_OK,
+                    key=key, status=STATUS_OK,
                     result=payload["result"], wall_time=payload["elapsed"],
-                    backend="pool", attempts=rounds)
+                    backend="pool", attempts=rounds,
+                    trace_path=_trace_path(trace_dir, key))
         # A timed-out task cannot be interrupted; don't wait on it.
         pool.shutdown(wait=not timed_out, cancel_futures=True)
         pending = retry_next
@@ -161,8 +193,10 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
 
 def execute_jobs(specs: Sequence[JobSpec], jobs: int = 1,
                  timeout: float | None = None,
-                 retries: int = 1) -> list[JobOutcome]:
+                 retries: int = 1,
+                 trace_dir: str | None = None) -> list[JobOutcome]:
     """Execute specs with the right backend for the requested width."""
     if jobs <= 1 or len(specs) <= 1:
-        return run_serial(specs)
-    return run_parallel(specs, jobs=jobs, timeout=timeout, retries=retries)
+        return run_serial(specs, trace_dir=trace_dir)
+    return run_parallel(specs, jobs=jobs, timeout=timeout, retries=retries,
+                        trace_dir=trace_dir)

@@ -34,6 +34,9 @@ class ManifestEntry:
     backend: str
     wall_time: float = 0.0
     error: str = ""
+    #: Where the job's trace artifacts were written ("" when untraced;
+    #: cache hits never re-trace, so hits always carry "").
+    trace_path: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -44,6 +47,7 @@ class ManifestEntry:
             "backend": self.backend,
             "wall_time": round(self.wall_time, 6),
             "error": self.error,
+            "trace_path": self.trace_path,
         }
 
 

@@ -36,11 +36,19 @@ def _decode_float(value: float | str) -> float:
 
 
 def run_result_to_dict(result: RunResult) -> dict:
-    return {f.name: getattr(result, f.name) for f in fields(RunResult)}
+    """The one run-result encoding: :meth:`RunResult.to_dict`.
+
+    Includes the derived metrics (power, bus_utilization, ipc, energy)
+    for consumers reading the JSON directly; :func:`run_result_from_dict`
+    rebuilds from the counter fields alone, so the round trip stays
+    bit-identical (derived floats are pure functions of the counters).
+    """
+    return result.to_dict()
 
 
 def run_result_from_dict(data: dict) -> RunResult:
-    return RunResult(**data)
+    names = {f.name for f in fields(RunResult)}
+    return RunResult(**{k: v for k, v in data.items() if k in names})
 
 
 def estimates_to_dict(estimates: Estimates) -> dict:

@@ -18,15 +18,18 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, fields
+from pathlib import Path
 
 from repro.errors import JobError
 from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
 from repro.fdt.runner import Application, AppRunResult, run_application
-from repro.sim.config import MachineConfig, SanitizerConfig
+from repro.sim.config import MachineConfig, SanitizerConfig, TraceConfig
 
 #: Version tag of the job-spec encoding and result serialization.
 #: Bump on any change that alters simulated outputs or their encoding.
-SCHEMA_VERSION = 1
+#: v2: MachineConfig gained the ``trace`` field (in the hashed payload)
+#: and result dicts carry the derived metrics of ``RunResult.to_dict``.
+SCHEMA_VERSION = 2
 
 _WORKLOAD_KINDS = ("registry", "synthetic")
 _POLICY_KINDS = ("static", "fdt", "sat", "bat")
@@ -167,6 +170,8 @@ def config_to_dict(config: MachineConfig) -> dict:
         value = getattr(config, f.name)
         if f.name == "sanitizer":
             value = None if value is None else _sanitizer_to_dict(value)
+        elif f.name == "trace":
+            value = None if value is None else _trace_to_dict(value)
         out[f.name] = value
     return out
 
@@ -176,6 +181,8 @@ def config_from_dict(data: dict) -> MachineConfig:
     kwargs = dict(data)
     if kwargs.get("sanitizer") is not None:
         kwargs["sanitizer"] = _sanitizer_from_dict(kwargs["sanitizer"])
+    if kwargs.get("trace") is not None:
+        kwargs["trace"] = _trace_from_dict(kwargs["trace"])
     return MachineConfig(**kwargs)
 
 
@@ -191,6 +198,14 @@ def _sanitizer_from_dict(data: dict) -> SanitizerConfig:
     kwargs["ignore_address_ranges"] = tuple(
         tuple(pair) for pair in kwargs.get("ignore_address_ranges", ()))
     return SanitizerConfig(**kwargs)
+
+
+def _trace_to_dict(config: TraceConfig) -> dict:
+    return {f.name: getattr(config, f.name) for f in fields(TraceConfig)}
+
+
+def _trace_from_dict(data: dict) -> TraceConfig:
+    return TraceConfig(**data)
 
 
 @dataclass(frozen=True, slots=True)
@@ -231,7 +246,21 @@ class JobSpec:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
-    def run(self) -> AppRunResult:
-        """Execute the job in this process (deterministic)."""
-        return run_application(self.workload.build(), self.policy.build(),
-                               self.config)
+    def run(self, trace_dir: str | Path | None = None) -> AppRunResult:
+        """Execute the job in this process (deterministic).
+
+        Args:
+            trace_dir: when given, the run records a trace
+                (:mod:`repro.trace`) and writes its artifacts under
+                ``trace_dir/<self.key()>/``.  The returned result is
+                bit-identical either way — the tracer is a pure
+                observer — so tracing never perturbs the cache.
+        """
+        app, policy = self.workload.build(), self.policy.build()
+        if trace_dir is None:
+            return run_application(app, policy, self.config)
+        from repro.trace import run_traced, write_artifacts
+        traced = run_traced(app, policy, self.config,
+                            trace_config=self.config.trace)
+        write_artifacts(traced.trace, Path(trace_dir) / self.key())
+        return traced.result

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - break the sim <-> runtime cycle
     from repro.check.events import SanitizerHooks
     from repro.sim.config import MachineConfig
     from repro.sim.ring import Ring
+    from repro.trace.events import TraceHooks
 
 
 @dataclass(slots=True)
@@ -45,13 +46,16 @@ class LockManager:
 
     def __init__(self, config: "MachineConfig", ring: "Ring",
                  core_nodes: list[int],
-                 hooks: "SanitizerHooks | None" = None) -> None:
+                 hooks: "SanitizerHooks | None" = None,
+                 trace: "TraceHooks | None" = None) -> None:
         self._config = config
         self._ring = ring
         self._core_nodes = core_nodes
         self._locks: dict[int, _LockState] = {}
         #: Sanitizer observer (repro.check); never affects grant timing.
         self._hooks = hooks
+        #: Trace observer (repro.trace); never affects grant timing.
+        self._trace = trace
         self.stats = LockStats()
 
     def _state(self, lock_id: int) -> _LockState:
@@ -84,9 +88,13 @@ class LockManager:
             self.stats.acquisitions += 1
             if self._hooks is not None:
                 self._hooks.on_lock_acquired(lock_id, core, grant)
+            if self._trace is not None:
+                self._trace.on_lock_acquired(lock_id, core, grant)
             return grant
         st.waiters.append((core, now))
         self.stats.contended_acquisitions += 1
+        if self._trace is not None:
+            self._trace.on_lock_spin_begin(lock_id, core, now)
         return None
 
     def release(self, lock_id: int, core: int, now: int) -> tuple[int, int] | None:
@@ -107,6 +115,8 @@ class LockManager:
         st.holder = None
         if self._hooks is not None:
             self._hooks.on_lock_released(lock_id, core, now)
+        if self._trace is not None:
+            self._trace.on_lock_released(lock_id, core, now)
         if not st.waiters:
             return None
         if self._config.lock_grant_order == "lifo":
@@ -120,6 +130,8 @@ class LockManager:
         self.stats.total_wait_cycles += grant - enqueued
         if self._hooks is not None:
             self._hooks.on_lock_acquired(lock_id, next_core, grant)
+        if self._trace is not None:
+            self._trace.on_lock_acquired(lock_id, next_core, grant)
         return next_core, grant
 
     def holder(self, lock_id: int) -> int | None:

@@ -19,6 +19,7 @@ import bisect
 from dataclasses import dataclass
 
 from repro.sim.config import MachineConfig
+from repro.sim.stats import busy_fraction
 
 
 class ReservationTimeline:
@@ -76,9 +77,7 @@ class BusStats:
 
     def utilization(self, elapsed_cycles: int) -> float:
         """Fraction of ``elapsed_cycles`` the data bus was occupied."""
-        if elapsed_cycles <= 0:
-            return 0.0
-        return min(1.0, self.busy_cycles / elapsed_cycles)
+        return busy_fraction(self.busy_cycles, elapsed_cycles)
 
 
 class OffChipBus:

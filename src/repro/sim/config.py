@@ -64,6 +64,48 @@ class SanitizerConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Knobs of the cycle-level tracer (:mod:`repro.trace`).
+
+    Attach one to :attr:`MachineConfig.trace` (or use
+    :meth:`MachineConfig.with_trace`) to have the machine record a
+    per-core state timeline, interval-sampled counter series, and the
+    FDT decision log while programs execute.  Like the sanitizer, the
+    tracer is a pure observer: it never schedules events or changes
+    timing, so cycle counts are identical with it on or off.  With no
+    config attached (the default) the hook sites reduce to one
+    ``is None`` test per event.
+    """
+
+    #: Master switch; attaching a config with ``enabled=False`` keeps
+    #: the machine hook-free, exactly as if no config were attached.
+    enabled: bool = True
+    #: Record the per-core state timeline (compute / critical-section /
+    #: lock-spin / barrier-wait / memory-stall spans).
+    timeline: bool = True
+    #: Sample machine counters every :attr:`sample_interval` cycles.
+    counters: bool = True
+    #: Record FDT training samples and thread-count decisions.
+    decisions: bool = True
+    #: Cycles between counter samples.
+    sample_interval: int = 1000
+    #: Memory stalls shorter than this many cycles are not recorded
+    #: (keeps L2-miss noise out of the timeline; 0 records everything).
+    min_mem_stall_cycles: int = 8
+    #: Cap on recorded timeline spans and on counter samples (each
+    #: bounded separately; further ones are counted but dropped).
+    max_events: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 1:
+            raise ConfigError("sample_interval must be >= 1")
+        if self.min_mem_stall_cycles < 0:
+            raise ConfigError("min_mem_stall_cycles must be >= 0")
+        if self.max_events < 1:
+            raise ConfigError("max_events must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
 class MachineConfig:
     """Parameters of the simulated CMP.
 
@@ -149,6 +191,11 @@ class MachineConfig:
     #: Thread-sanitizer knobs (:mod:`repro.check`); None (the default)
     #: builds a machine with no observer attached.
     sanitizer: SanitizerConfig | None = None
+
+    # -- tracer ------------------------------------------------------------------
+    #: Cycle-level tracer knobs (:mod:`repro.trace`); None (the default)
+    #: builds a machine with no recorder attached.
+    trace: TraceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -254,3 +301,7 @@ class MachineConfig:
                        sanitizer: SanitizerConfig | None = None) -> "MachineConfig":
         """Return a config with the thread sanitizer attached."""
         return replace(self, sanitizer=sanitizer or SanitizerConfig())
+
+    def with_trace(self, trace: TraceConfig | None = None) -> "MachineConfig":
+        """Return a config with the cycle-level tracer attached."""
+        return replace(self, trace=trace or TraceConfig())

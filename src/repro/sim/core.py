@@ -109,6 +109,9 @@ class Core:
         ctx.agent_id = agent_id
         ctx.state = CoreState.RUNNING
         ctx.started_at = at
+        trace = self.machine.trace
+        if trace is not None:
+            trace.on_thread_start(self.core_id, agent_id, at)
         self.machine.events.schedule(at, lambda: self._step(ctx))
 
     def _finish_thread(self, ctx: _Context) -> None:
@@ -121,6 +124,10 @@ class Core:
         san = self.machine.sanitizer
         if san is not None:
             san.on_thread_exit(agent_id, self.machine.events.now)
+        trace = self.machine.trace
+        if trace is not None:
+            trace.on_thread_exit(self.core_id, agent_id,
+                                 self.machine.events.now)
         self.machine.on_thread_finished(self.core_id, agent_id)
 
     # -- execution loop ---------------------------------------------------------
@@ -152,6 +159,9 @@ class Core:
             self.retired_instructions += n
             machine.counters.on_retire(self.core_id, n)
             if cycles:
+                if machine.trace is not None and ctx.agent_id is not None:
+                    machine.trace.on_compute(self.core_id, ctx.agent_id,
+                                             now, now + cycles)
                 events.schedule(now + cycles, lambda: self._step(ctx))
             else:
                 self._step(ctx)

@@ -18,13 +18,18 @@ Callback = Callable[[], None]
 class EventQueue:
     """Deterministic priority queue of timed callbacks."""
 
-    __slots__ = ("_heap", "_seq", "now")
+    __slots__ = ("_heap", "_seq", "now", "sampler")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callback]] = []
         self._seq = 0
         #: Current simulation time in cpu cycles.
         self.now = 0
+        #: Optional pure observer notified (``on_advance(when)``) just
+        #: before the clock advances to each event's cycle — how the
+        #: tracer samples counters without scheduling events of its
+        #: own.  One ``is None`` test per event when absent.
+        self.sampler = None
 
     def schedule(self, when: int, callback: Callback) -> None:
         """Schedule ``callback`` to run at absolute cycle ``when``.
@@ -58,6 +63,8 @@ class EventQueue:
                 self.now = until
                 return
             heapq.heappop(heap)
+            if self.sampler is not None and when > self.now:
+                self.sampler.on_advance(when)
             self.now = when
             callback()
         if until is not None:
@@ -68,6 +75,8 @@ class EventQueue:
         if not self._heap:
             return False
         when, _seq, callback = heapq.heappop(self._heap)
+        if self.sampler is not None and when > self.now:
+            self.sampler.on_advance(when)
         self.now = when
         callback()
         return True

@@ -80,14 +80,25 @@ class Machine:
             # checker unless a config actually asks for it.
             from repro.check.sanitizer import ThreadSanitizer
             self.sanitizer = ThreadSanitizer(san_config)
+        #: Trace recorder (repro.trace), or None.  Like the sanitizer, a
+        #: pure observer: attaching one never changes simulated timing.
+        self.trace = None
+        trace_config = self.config.trace
+        if trace_config is not None and trace_config.enabled:
+            # Imported lazily for the same reason as the sanitizer.
+            from repro.trace.recorder import TraceRecorder
+            self.trace = TraceRecorder(trace_config, self)
+            if trace_config.counters:
+                self.events.sampler = self.trace
+            self.memsys.trace = self.trace
         # Locks and barriers are keyed by *agent* (thread slot); an
         # agent's ring node is its hosting core's node.
         agent_nodes = [core_nodes[s % self.config.num_cores]
                        for s in range(self.config.num_thread_slots)]
         self.locks = LockManager(self.config, self.ring, agent_nodes,
-                                 hooks=self.sanitizer)
+                                 hooks=self.sanitizer, trace=self.trace)
         self.barriers = BarrierManager(self.config, self.ring, agent_nodes,
-                                       hooks=self.sanitizer)
+                                       hooks=self.sanitizer, trace=self.trace)
         self.cores = [Core(i, self) for i in range(self.config.num_cores)]
         self._team_size = 0
         self._threads_running = 0
@@ -154,6 +165,8 @@ class Machine:
         start = self.events.now
         if self.sanitizer is not None:
             self.sanitizer.on_region_begin(num_threads, start)
+        if self.trace is not None:
+            self.trace.on_region_begin(num_threads, start)
         self._team_size = num_threads
         self._threads_running = num_threads
         self._core_first_start.clear()
@@ -188,6 +201,8 @@ class Machine:
         self._core_first_start.clear()
         if self.sanitizer is not None:
             self.sanitizer.on_region_end(end)
+        if self.trace is not None:
+            self.trace.on_region_end(end)
         return RegionResult(start_cycle=start, end_cycle=end,
                             num_threads=num_threads)
 

@@ -70,6 +70,10 @@ class MemorySystem:
         self.bus = OffChipBus(config)
         self.dram = Dram(config)
         self.stats = MemSysStats()
+        #: Trace recorder (repro.trace), or None.  A pure observer fed
+        #: the stall intervals of L2 misses and coherence upgrades —
+        #: the accesses that actually block an in-order core.
+        self.trace = None
         self._offset_bits = config.line_bytes.bit_length() - 1
 
     # -- public API --------------------------------------------------------
@@ -169,7 +173,10 @@ class MemorySystem:
         for v in victims:
             self._invalidate_private(v, line)
         self.l2s[core].update(line, _M)
-        return self.ring.latency_at(t_acks, bank_node, core_node)
+        done = self.ring.latency_at(t_acks, bank_node, core_node)
+        if self.trace is not None:
+            self.trace.on_mem_access(core, line, True, t, done)
+        return done
 
     def _miss(self, core: int, line: int, is_write: bool, t: int) -> int:
         """L2 miss: consult the home bank directory, fetch data, fill."""
@@ -199,6 +206,8 @@ class MemorySystem:
         new_state = _M if is_write else self._load_fill_state(line, core)
         self._l2_install(core, line, new_state)
         self._l1_fill(core, line)
+        if self.trace is not None:
+            self.trace.on_mem_access(core, line, is_write, t, t_data)
         return t_data
 
     def _load_fill_state(self, line: int, core: int) -> MesiState:

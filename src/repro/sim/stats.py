@@ -11,6 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def busy_fraction(busy_cycles: int, elapsed_cycles: int) -> float:
+    """Occupancy of a unit-capacity resource, clamped to [0, 1].
+
+    The single definition of "utilization" shared by
+    :attr:`RunResult.bus_utilization` and
+    :meth:`repro.sim.bus.BusStats.utilization`.  Zero or negative elapsed
+    time yields 0.0 (an empty interval has no occupancy); the clamp
+    absorbs transfers that straddle the interval boundary.
+    """
+    if elapsed_cycles <= 0:
+        return 0.0
+    return min(1.0, busy_cycles / elapsed_cycles)
+
+
 @dataclass(frozen=True, slots=True)
 class Snapshot:
     """Machine counters at one instant of simulated time."""
@@ -71,9 +85,7 @@ class RunResult:
     @property
     def bus_utilization(self) -> float:
         """Fraction of the interval the off-chip data bus was busy."""
-        if self.cycles <= 0:
-            return 0.0
-        return min(1.0, self.bus_busy_cycles / self.cycles)
+        return busy_fraction(self.bus_busy_cycles, self.cycles)
 
     @property
     def energy(self) -> float:
@@ -87,6 +99,29 @@ class RunResult:
         if self.cycles <= 0:
             return 0.0
         return self.retired_instructions / self.cycles
+
+    def to_dict(self) -> dict:
+        """All counters plus derived metrics, JSON-ready.
+
+        The one encoding of a run result: the CLI's ``--json`` output
+        and the jobs cache both use it, so cached and fresh payloads
+        stay field-for-field identical.
+        """
+        return {
+            "cycles": self.cycles,
+            "busy_core_cycles": self.busy_core_cycles,
+            "spin_core_cycles": self.spin_core_cycles,
+            "bus_busy_cycles": self.bus_busy_cycles,
+            "bus_transfers": self.bus_transfers,
+            "l3_misses": self.l3_misses,
+            "l3_accesses": self.l3_accesses,
+            "retired_instructions": self.retired_instructions,
+            "lock_acquisitions": self.lock_acquisitions,
+            "power": self.power,
+            "bus_utilization": self.bus_utilization,
+            "ipc": self.ipc,
+            "energy": self.energy,
+        }
 
     def __add__(self, other: "RunResult") -> "RunResult":
         """Concatenate two disjoint intervals (times and counts add)."""

@@ -1,0 +1,84 @@
+"""Cycle-level tracing: state timelines, counter series, decision logs.
+
+The paper's argument is about *when* time goes — cycles inside critical
+sections versus outside (SAT, Eq. 3) and cycles the off-chip bus is
+busy (BAT, Eq. 5) — so this package records exactly that, below the
+end-of-run aggregates of :class:`~repro.sim.stats.RunResult`:
+
+* a **per-core state timeline** (compute / critical-section /
+  lock-spin / barrier-wait / memory-stall spans);
+* **interval-sampled counter time series** (active cores, bus
+  occupancy, L3 misses, lock acquisitions every N cycles);
+* an **FDT decision log** capturing each training run's samples, the
+  derived T_CS/T_NoCS/BU_1, the Eq. 3/5/7 arithmetic, and the chosen
+  thread count — replayable from its own recorded inputs.
+
+Attach a :class:`~repro.sim.config.TraceConfig` to a machine config
+(``config.with_trace()``) and the machine records while it runs; the
+tracer is a pure observer, so simulated cycles are bit-identical with
+it on or off.  Export with :func:`~repro.trace.export.write_artifacts`
+(Perfetto ``trace_event`` JSON, CSV counter series, decision-log JSON,
+text summary), or from the CLI::
+
+    python -m repro trace PageMine --policy fdt --out traces/pagemine
+    python -m repro run ED --policy fdt --trace traces/ed
+
+Typical programmatic use::
+
+    from repro.fdt.policies import FdtPolicy
+    from repro.trace import run_traced, write_artifacts
+    from repro.workloads import get
+
+    traced = run_traced(get("PageMine").build(0.5), FdtPolicy())
+    print(traced.trace.critical_section_cycles)
+    write_artifacts(traced.trace, "traces/pagemine")
+"""
+
+from repro.trace.data import (
+    SPAN_STATES,
+    STATE_BARRIER_WAIT,
+    STATE_COMPUTE,
+    STATE_CRITICAL_SECTION,
+    STATE_LOCK_SPIN,
+    STATE_MEMORY_STALL,
+    CounterSample,
+    FdtDecisionRecord,
+    Mark,
+    Span,
+    Trace,
+)
+from repro.trace.events import TraceHooks
+from repro.trace.export import (
+    counters_csv,
+    decisions_json,
+    perfetto_json,
+    text_summary,
+    to_perfetto,
+    write_artifacts,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.trace.runner import TracedRun, run_traced
+
+__all__ = [
+    "SPAN_STATES",
+    "STATE_BARRIER_WAIT",
+    "STATE_COMPUTE",
+    "STATE_CRITICAL_SECTION",
+    "STATE_LOCK_SPIN",
+    "STATE_MEMORY_STALL",
+    "CounterSample",
+    "FdtDecisionRecord",
+    "Mark",
+    "Span",
+    "Trace",
+    "TraceHooks",
+    "TraceRecorder",
+    "TracedRun",
+    "counters_csv",
+    "decisions_json",
+    "perfetto_json",
+    "run_traced",
+    "text_summary",
+    "to_perfetto",
+    "write_artifacts",
+]

@@ -1,0 +1,114 @@
+"""The event-emission hook interface between the simulator and the tracer.
+
+The machine components (:class:`~repro.sim.core.Core`,
+:class:`~repro.sim.memsys.MemorySystem`,
+:class:`~repro.runtime.locks.LockManager`,
+:class:`~repro.runtime.barriers.BarrierManager`,
+:class:`~repro.sim.machine.Machine`) and the FDT layer
+(:class:`~repro.fdt.training.TrainingLog`,
+:class:`~repro.fdt.policies.FdtPolicy`,
+:func:`~repro.fdt.runner.run_application`) call these hooks, guarded by
+a single ``is None`` test per site — the whole cost when no tracer is
+attached.  Hooks are pure observers: they must not schedule events or
+mutate machine state, so simulated timing is bit-identical with a
+tracer on or off.
+
+``agent`` is always the hardware thread slot (the id locks and barriers
+are keyed by); ``core`` is a physical core index; cycle arguments are
+absolute machine cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid runtime import cycles
+    from repro.fdt.estimators import Estimates
+    from repro.fdt.training import TrainingLog, TrainingSample
+
+
+class TraceHooks:
+    """No-op base implementation of every trace hook.
+
+    Subclass and override what you need; :class:`repro.trace.recorder.
+    TraceRecorder` overrides all of them.  Keeping a concrete no-op base
+    (rather than an ABC) lets tests attach partial observers.
+    """
+
+    # -- region / thread lifecycle -----------------------------------------
+
+    def on_region_begin(self, num_threads: int, now: int) -> None:
+        """A parallel region with ``num_threads`` threads is starting."""
+
+    def on_region_end(self, now: int) -> None:
+        """The region completed, join overhead included."""
+
+    def on_thread_start(self, core: int, agent: int, now: int) -> None:
+        """``agent``'s program begins executing on ``core``."""
+
+    def on_thread_exit(self, core: int, agent: int, now: int) -> None:
+        """``agent``'s program is exhausted."""
+
+    # -- core execution ------------------------------------------------------
+
+    def on_compute(self, core: int, agent: int, start: int,
+                   end: int) -> None:
+        """A compute op occupies ``core`` over ``[start, end)``."""
+
+    # -- memory --------------------------------------------------------------
+
+    def on_mem_access(self, core: int, line: int, is_write: bool,
+                      start: int, end: int) -> None:
+        """``core`` stalled on the memory system over ``[start, end)``
+        resolving ``line`` (L2 misses and coherence upgrades; private
+        cache hits are not stalls and are not reported)."""
+
+    # -- locks ---------------------------------------------------------------
+
+    def on_lock_spin_begin(self, lock_id: int, agent: int,
+                           now: int) -> None:
+        """``agent`` queued on a held lock and begins spinning."""
+
+    def on_lock_acquired(self, lock_id: int, agent: int,
+                         grant: int) -> None:
+        """``agent`` holds ``lock_id`` from cycle ``grant``."""
+
+    def on_lock_released(self, lock_id: int, agent: int, now: int) -> None:
+        """``agent`` released ``lock_id`` at cycle ``now``."""
+
+    # -- barriers ---------------------------------------------------------------
+
+    def on_barrier_arrive(self, barrier_id: int, agent: int,
+                          now: int) -> None:
+        """``agent`` arrived at ``barrier_id`` and begins waiting."""
+
+    def on_barrier_release(self, barrier_id: int,
+                           releases: list[tuple[int, int]],
+                           now: int) -> None:
+        """The last arriver completed a generation; ``releases`` lists
+        ``(agent, release_cycle)`` for every participant."""
+
+    # -- FDT ----------------------------------------------------------------------
+
+    def on_training_sample(self, kernel_name: str,
+                           sample: "TrainingSample") -> None:
+        """The instrumented training loop recorded one iteration.
+
+        No cycle argument: :class:`~repro.fdt.training.TrainingLog` has
+        no clock of its own — observers with machine access may read
+        ``machine.events.now``."""
+
+    def on_fdt_decision(self, kernel_name: str, policy_name: str,
+                        mode: str, log: "TrainingLog",
+                        estimates: "Estimates", chosen_threads: int,
+                        num_slots: int, now: int) -> None:
+        """The estimation stage chose ``chosen_threads`` for a kernel."""
+
+    def on_app_begin(self, app_name: str, policy_name: str,
+                     now: int) -> None:
+        """An application (sequence of kernels) starts executing."""
+
+    def on_kernel_complete(self, kernel_name: str, threads: int,
+                           training_cycles: int, execution_cycles: int,
+                           now: int) -> None:
+        """One kernel of the application ran to completion."""

@@ -1,0 +1,53 @@
+"""Record a trace for one workload run: the ``repro trace`` entry point.
+
+:func:`run_traced` is the programmatic mirror of the CLI: build a
+machine with a :class:`~repro.sim.config.TraceConfig` attached, run the
+application under a policy, and hand back both the normal
+:class:`~repro.fdt.runner.AppRunResult` and the recorded
+:class:`~repro.trace.data.Trace`.  Because the tracer is a pure
+observer, the result is bit-identical to an untraced run of the same
+spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fdt.policies import ThreadingPolicy
+from repro.fdt.runner import Application, AppRunResult, run_application
+from repro.sim.config import MachineConfig, TraceConfig
+from repro.sim.machine import Machine
+from repro.trace.data import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class TracedRun:
+    """An application run plus the trace it recorded."""
+
+    result: AppRunResult
+    trace: Trace
+
+
+def run_traced(app: Application, policy: ThreadingPolicy,
+               config: MachineConfig | None = None,
+               trace_config: TraceConfig | None = None) -> TracedRun:
+    """Run ``app`` under ``policy`` on a machine that records a trace.
+
+    Args:
+        app: the application to execute.
+        policy: threading policy driving the run.
+        config: machine configuration (baseline when omitted); any
+            tracer already attached to it is replaced.
+        trace_config: tracer knobs (defaults when omitted).
+
+    Returns:
+        The run result and the recorded trace.
+    """
+    base = config or MachineConfig.asplos08_baseline()
+    cfg = base.with_trace(trace_config)
+    machine = Machine(cfg)
+    result = run_application(app, policy, cfg, machine=machine)
+    if machine.trace is None:  # pragma: no cover - defensive
+        raise ConfigError("trace recording was disabled by the config")
+    return TracedRun(result=result, trace=machine.trace.data)

@@ -1,0 +1,79 @@
+"""Tracer purity: attaching a recorder never changes simulated results.
+
+The trace subsystem's correctness bar (mirroring the sanitizer's and the
+jobs subsystem's parity suites): for a CS-limited and a BW-limited
+workload, under both the static and the FDT policy, the full
+:class:`~repro.fdt.runner.AppRunResult` — every counter, every cycle —
+is bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy
+from repro.fdt.runner import run_application
+from repro.jobs import JobRunner, JobSpec, PolicySpec, WorkloadRef
+from repro.sim.config import MachineConfig, TraceConfig
+from repro.sim.machine import Machine
+from repro.trace import run_traced
+from repro.workloads import get
+
+#: One critical-section-limited and one bandwidth-limited workload.
+WORKLOADS = ("PageMine", "ED")
+SCALE = 0.1
+
+
+def _policies():
+    return [StaticPolicy(4), FdtPolicy(FdtMode.COMBINED)]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_traced_run_results_are_bit_identical(name):
+    config = MachineConfig.asplos08_baseline()
+    spec = get(name)
+    for policy in _policies():
+        plain = run_application(spec.build(SCALE), policy, config)
+        traced = run_traced(spec.build(SCALE), policy, config)
+        assert traced.result == plain  # full dataclass equality
+        assert traced.trace.spans  # and the tracer did record
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_every_trace_feature_toggle_preserves_results(name):
+    """Each recorder feature, alone, leaves the simulation untouched."""
+    config = MachineConfig.asplos08_baseline()
+    spec = get(name)
+    policy = FdtPolicy(FdtMode.COMBINED)
+    plain = run_application(spec.build(SCALE), policy, config)
+    for tc in (
+        TraceConfig(timeline=True, counters=False, decisions=False),
+        TraceConfig(timeline=False, counters=True, decisions=False),
+        TraceConfig(timeline=False, counters=False, decisions=True),
+        TraceConfig(sample_interval=97),
+        TraceConfig(max_events=10),
+    ):
+        traced = run_traced(spec.build(SCALE), policy, config,
+                            trace_config=tc)
+        assert traced.result == plain
+
+
+def test_disabled_trace_config_attaches_no_recorder():
+    config = MachineConfig.asplos08_baseline().with_trace(
+        TraceConfig(enabled=False))
+    machine = Machine(config)
+    assert machine.trace is None
+    assert machine.events.sampler is None
+
+
+def test_traced_jobs_match_untraced_jobs(tmp_path):
+    """The jobs layer: tracing a batch never changes its results."""
+    config = MachineConfig.asplos08_baseline()
+    specs = [JobSpec(workload=WorkloadRef(name="PageMine", scale=SCALE),
+                     policy=PolicySpec.static(t), config=config)
+             for t in (1, 2)]
+    plain = JobRunner().run(specs)
+    traced_runner = JobRunner(trace_dir=str(tmp_path / "traces"))
+    assert traced_runner.run(specs) == plain
+    for entry, spec in zip(traced_runner.manifest.entries, specs):
+        assert entry.trace_path.endswith(spec.key())
