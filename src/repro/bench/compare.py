@@ -1,0 +1,159 @@
+"""Compare two ``BENCH_sim.json`` reports and gate on regressions.
+
+Used three ways:
+
+* ``repro bench --compare BASELINE`` after a suite run (the CLI);
+* ``python -m repro.bench.compare BASELINE CURRENT`` standalone (CI);
+* :func:`compare_reports` programmatically (tests).
+
+The gated metric is ``sim_cycles_per_host_second`` (median-based, so
+one slow outlier trial cannot fail the gate).  A scenario *regresses*
+when its current rate drops more than ``threshold`` below the baseline
+rate; scenarios present in the baseline but missing from the current
+report also fail the gate.  The default threshold is deliberately
+generous (30%) because shared CI runners are noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioDelta:
+    """One scenario's baseline-vs-current comparison."""
+
+    name: str
+    baseline_rate: float
+    current_rate: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline sim-cycles-per-host-second (1.0 = parity)."""
+        if self.baseline_rate <= 0:
+            return float("inf")
+        return self.current_rate / self.baseline_rate
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+
+@dataclass(frozen=True, slots=True)
+class CompareReport:
+    """Outcome of comparing a current report against a baseline."""
+
+    threshold: float
+    deltas: tuple[ScenarioDelta, ...]
+    missing: tuple[str, ...]
+    extra: tuple[str, ...]
+    host_matches: bool
+
+    @property
+    def regressions(self) -> tuple[ScenarioDelta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def format(self) -> str:
+        lines = [f"bench compare (threshold: -{self.threshold:.0%} "
+                 f"sim-cycles/host-second)"]
+        if not self.host_matches:
+            lines.append("note: host fingerprints differ; absolute rates "
+                         "are only loosely comparable")
+        for d in self.deltas:
+            verdict = "REGRESSED" if d.regressed else "ok"
+            lines.append(f"  {d.name}: {d.baseline_rate:,.0f} -> "
+                         f"{d.current_rate:,.0f} sim-cycles/s "
+                         f"({d.ratio:.2f}x)  {verdict}")
+        for name in self.missing:
+            lines.append(f"  {name}: MISSING from current report")
+        for name in self.extra:
+            lines.append(f"  {name}: new scenario (no baseline; not gated)")
+        lines.append("result: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load and schema-check one ``BENCH_sim.json`` document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read bench report {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bench report {path} is not valid JSON: {exc}")
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    from repro.bench.harness import SCHEMA
+    if schema != SCHEMA:
+        raise ReproError(f"bench report {path} has schema {schema!r}; "
+                         f"this tool reads {SCHEMA!r}")
+    return doc
+
+
+def _rates(doc: dict[str, Any]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for entry in doc.get("scenarios", []):
+        out[entry["name"]] = float(entry["sim_cycles_per_host_second"])
+    return out
+
+
+def compare_reports(baseline: dict[str, Any], current: dict[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD) -> CompareReport:
+    """Compare two loaded reports; see the module docstring for rules."""
+    if not 0.0 < threshold < 1.0:
+        raise ReproError(f"threshold must be in (0, 1), got {threshold}")
+    base_rates = _rates(baseline)
+    cur_rates = _rates(current)
+    deltas = tuple(
+        ScenarioDelta(name=name, baseline_rate=rate,
+                      current_rate=cur_rates[name], threshold=threshold)
+        for name, rate in base_rates.items() if name in cur_rates)
+    return CompareReport(
+        threshold=threshold,
+        deltas=deltas,
+        missing=tuple(n for n in base_rates if n not in cur_rates),
+        extra=tuple(n for n in cur_rates if n not in base_rates),
+        host_matches=baseline.get("host") == current.get("host"),
+    )
+
+
+def compare_files(baseline_path: str | Path, current_path: str | Path,
+                  threshold: float = DEFAULT_THRESHOLD) -> CompareReport:
+    """File-path convenience wrapper around :func:`compare_reports`."""
+    return compare_reports(load_report(baseline_path),
+                           load_report(current_path), threshold)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="Gate a BENCH_sim.json against a committed baseline")
+    parser.add_argument("baseline", help="baseline BENCH_sim.json")
+    parser.add_argument("current", help="current BENCH_sim.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional drop before failing "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+    try:
+        report = compare_files(args.baseline, args.current, args.threshold)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module runner
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Run the benchmark suite: warmup, repeated trials, median/MAD, JSON.
+
+The unit of measurement is one *trial*: a complete, fresh simulation of
+a scenario, timed with ``time.perf_counter``.  Warmup trials absorb
+one-time costs (imports, allocator warmup, branch-predictor-unfriendly
+first passes) and are discarded.  The reported statistics are the
+median and the median absolute deviation (MAD) of the kept trials —
+robust against the occasional slow outlier on shared CI runners.
+
+Reports are schema-versioned (:data:`SCHEMA`) and host-fingerprinted so
+a reader can tell whether two ``BENCH_sim.json`` files are comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.bench.scenarios import Scenario, select
+
+#: Bump on any incompatible change to the report layout.
+SCHEMA = "repro-bench/1"
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """Identify the measuring host well enough to judge comparability."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Measured statistics for one scenario."""
+
+    name: str
+    description: str
+    trials: int
+    warmup: int
+    sim_cycles: int
+    sim_ops: int
+    host_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def median_host_seconds(self) -> float:
+        return statistics.median(self.host_seconds)
+
+    @property
+    def mad_host_seconds(self) -> float:
+        med = self.median_host_seconds
+        return statistics.median(abs(s - med) for s in self.host_seconds)
+
+    @property
+    def sim_cycles_per_host_second(self) -> float:
+        return self.sim_cycles / self.median_host_seconds
+
+    @property
+    def ops_per_host_second(self) -> float:
+        return self.sim_ops / self.median_host_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "trials": self.trials,
+            "warmup": self.warmup,
+            "sim_cycles": self.sim_cycles,
+            "sim_ops": self.sim_ops,
+            "host_seconds": [round(s, 6) for s in self.host_seconds],
+            "median_host_seconds": round(self.median_host_seconds, 6),
+            "mad_host_seconds": round(self.mad_host_seconds, 6),
+            "sim_cycles_per_host_second":
+                round(self.sim_cycles_per_host_second, 1),
+            "ops_per_host_second": round(self.ops_per_host_second, 1),
+        }
+
+
+@dataclass(slots=True)
+class BenchResult:
+    """One full suite run, serializable as ``BENCH_sim.json``."""
+
+    quick: bool
+    scenarios: list[ScenarioResult]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "host": host_fingerprint(),
+            "quick": self.quick,
+            "slow_paths": os.environ.get("REPRO_SLOW_PATHS", "") not in ("", "0"),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+
+def _run_one(scenario: Scenario, quick: bool, trials: int,
+             warmup: int) -> ScenarioResult:
+    sim_cycles = sim_ops = 0
+    seconds: list[float] = []
+    for i in range(warmup + trials):
+        body = scenario.prepare(quick)  # setup is not timed
+        t0 = time.perf_counter()
+        stats = body()
+        elapsed = time.perf_counter() - t0
+        if i == 0:
+            sim_cycles, sim_ops = stats.sim_cycles, stats.sim_ops
+        elif (stats.sim_cycles, stats.sim_ops) != (sim_cycles, sim_ops):
+            # The simulator is deterministic; a trial that simulated a
+            # different cycle count is a bug, not measurement noise.
+            raise AssertionError(
+                f"bench scenario {scenario.name!r} is nondeterministic: "
+                f"trial {i} simulated {stats.sim_cycles} cycles / "
+                f"{stats.sim_ops} ops, trial 0 simulated "
+                f"{sim_cycles} / {sim_ops}")
+        if i >= warmup:
+            seconds.append(elapsed)
+    return ScenarioResult(name=scenario.name,
+                          description=scenario.description,
+                          trials=trials, warmup=warmup,
+                          sim_cycles=sim_cycles, sim_ops=sim_ops,
+                          host_seconds=seconds)
+
+
+def run_suite(names: list[str] | None = None, quick: bool = False,
+              trials: int = 5, warmup: int = 1,
+              progress: Any = None) -> BenchResult:
+    """Measure the (selected) suite and return a :class:`BenchResult`.
+
+    Args:
+        names: scenario subset (None runs everything).
+        quick: shrink inputs for CI.
+        trials: kept timed trials per scenario.
+        warmup: discarded leading trials per scenario.
+        progress: optional ``print``-like callable for per-scenario lines.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    results = []
+    for scenario in select(names):
+        result = _run_one(scenario, quick, trials, warmup)
+        if progress is not None:
+            progress(f"{result.name}: "
+                     f"{result.median_host_seconds:.3f}s median "
+                     f"(+/- {result.mad_host_seconds:.3f} MAD), "
+                     f"{result.sim_cycles_per_host_second:,.0f} sim-cycles/s, "
+                     f"{result.ops_per_host_second:,.0f} ops/s")
+        results.append(result)
+    return BenchResult(quick=quick, scenarios=results)
+
+
+def write_json(result: BenchResult, path: str | Path) -> Path:
+    """Write ``result`` as a ``BENCH_sim.json`` document; return the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+    return out

@@ -287,6 +287,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare, harness, scenarios
+
+    if args.list:
+        rows = [(s.name, s.description) for s in scenarios.SCENARIOS]
+        print(ascii_table(("scenario", "description"), rows))
+        return 0
+    result = harness.run_suite(names=args.scenario or None, quick=args.quick,
+                               trials=args.trials, warmup=args.warmup,
+                               progress=lambda line: print(line,
+                                                           file=sys.stderr))
+    if args.json:
+        path = harness.write_json(result, args.json)
+        print(f"bench report written to {path}", file=sys.stderr)
+    else:
+        print(json.dumps(result.to_dict(), indent=2))
+    if args.compare:
+        report = compare.compare_reports(compare.load_report(args.compare),
+                                         result.to_dict(),
+                                         threshold=args.threshold)
+        print(report.format())
+        return 0 if report.ok else 1
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
     import inspect
@@ -478,6 +503,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the machine-readable trace summary")
     add_machine_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator host throughput (sim-cycles and ops per "
+             "host second) over the fixed scenario suite")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small inputs (the CI configuration)")
+    p_bench.add_argument("--trials", type=int, default=5,
+                         help="kept timed trials per scenario (default 5)")
+    p_bench.add_argument("--warmup", type=int, default=1,
+                         help="discarded leading trials (default 1)")
+    p_bench.add_argument("--scenario", action="append", metavar="NAME",
+                         help="run only NAME (repeatable; default: all)")
+    p_bench.add_argument("--json", default=None, metavar="FILE",
+                         help="write the schema-versioned BENCH_sim.json "
+                              "report to FILE (default: print to stdout)")
+    p_bench.add_argument("--compare", default=None, metavar="BASELINE",
+                         help="after the run, gate against BASELINE "
+                              "(exit 1 on regression)")
+    p_bench.add_argument("--threshold", type=float, default=0.30,
+                         help="allowed fractional rate drop for --compare "
+                              "(default 0.30)")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list the scenario suite and exit")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIGURES))

@@ -44,13 +44,33 @@ class ReservationTimeline:
     def reserve(self, ready: int, duration: int) -> int:
         """Book ``duration`` cycles at the earliest start >= ``ready``."""
         starts, ends = self._starts, self._ends
+        # Fast path: at or past the end of the whole timeline, append.
+        if not ends or ready >= ends[-1]:
+            if ends and ready == ends[-1]:
+                # Butt-joined with the last interval: extend in place.
+                ends[-1] = ready + duration
+            else:
+                starts.append(ready)
+                ends.append(ready + duration)
+            return ready
+
+        # Saturated fast path: one long busy interval covering ``ready``
+        # (the steady state of a bandwidth-bound run, kept to a single
+        # entry by the butt-join merging below) — extend it in place.
+        if len(ends) == 1 and starts[0] <= ready:
+            start = ends[0]
+            ends[0] = start + duration
+            return start
+
         # Drop intervals that ended long before any future request can
         # begin (ready times are bounded below by the advancing clock).
-        cutoff = ready - self._horizon
-        drop = bisect.bisect_right(ends, cutoff)
-        if drop:
-            del starts[:drop]
-            del ends[:drop]
+        # Merging keeps the list short, so only bother when it grows.
+        if len(ends) > 8:
+            cutoff = ready - self._horizon
+            drop = bisect.bisect_right(ends, cutoff)
+            if drop:
+                del starts[:drop]
+                del ends[:drop]
 
         start = ready
         idx = bisect.bisect_right(ends, start)
@@ -59,8 +79,24 @@ class ReservationTimeline:
                 break  # fits in the gap before interval idx
             start = ends[idx]
             idx += 1
-        starts.insert(idx, start)
-        ends.insert(idx, start + duration)
+        end = start + duration
+        # Merge butt-joined neighbors: a zero-length gap cannot hold any
+        # positive-duration transfer, so coalescing changes no outcome
+        # while keeping the timeline short under saturation (the common
+        # state of a bandwidth-bound run is one long busy interval).
+        merge_prev = idx > 0 and ends[idx - 1] == start
+        merge_next = idx < len(starts) and starts[idx] == end
+        if merge_prev and merge_next:
+            ends[idx - 1] = ends[idx]
+            del starts[idx]
+            del ends[idx]
+        elif merge_prev:
+            ends[idx - 1] = end
+        elif merge_next:
+            starts[idx] = start
+        else:
+            starts.insert(idx, start)
+            ends.insert(idx, end)
         return start
 
     def __len__(self) -> int:
@@ -105,12 +141,15 @@ class OffChipBus:
 
         Reserves the data bus; returns the cycle the transfer completes.
         """
-        start = self._timeline.reserve(ready, self.cycles_per_line)
-        self.stats.total_wait_cycles += start - ready
-        done = start + self.cycles_per_line
-        self._last_end = max(self._last_end, done)
-        self.stats.busy_cycles += self.cycles_per_line
-        self.stats.transfers += 1
+        cycles = self.cycles_per_line
+        start = self._timeline.reserve(ready, cycles)
+        done = start + cycles
+        stats = self.stats
+        stats.total_wait_cycles += start - ready
+        stats.busy_cycles += cycles
+        stats.transfers += 1
+        if done > self._last_end:
+            self._last_end = done
         return done
 
     @property

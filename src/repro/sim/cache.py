@@ -76,9 +76,8 @@ class SetAssocCache:
         return addr >> self._offset_bits
 
     def _set_index(self, line: int) -> int:
-        if self._set_mask >= 0:
-            return line & self._set_mask
-        return line % self.num_sets
+        mask = self._set_mask
+        return line & mask if mask >= 0 else line % self.num_sets
 
     # -- core operations ------------------------------------------------------
 
@@ -87,20 +86,34 @@ class SetAssocCache:
 
         Counts a hit or miss; ``touch=True`` promotes the line to MRU.
         """
-        s = self._sets[self._set_index(line)]
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self.num_sets]
+        stats = self.stats
         if line in s:
-            self.stats.hits += 1
+            stats.hits += 1
             if touch:
                 payload = s.pop(line)
                 s[line] = payload
                 return payload
             return s[line]
-        self.stats.misses += 1
+        stats.misses += 1
         return None
+
+    def direct_state(self) -> tuple[list[dict[int, Any]], int, CacheStats]:
+        """Internals for inlined hit fast paths: ``(sets, set_mask, stats)``.
+
+        ``set_mask`` is ``-1`` when the set count is not a power of two
+        (callers must then fall back to the method API).  Mutating the
+        returned structures follows the same rules :meth:`lookup` and
+        :meth:`insert` do; see :meth:`MemorySystem.make_port
+        <repro.sim.memsys.MemorySystem.make_port>` for the one user.
+        """
+        return self._sets, self._set_mask, self.stats
 
     def peek(self, line: int) -> Any | None:
         """Payload for ``line`` without touching LRU or counting stats."""
-        return self._sets[self._set_index(line)].get(line)
+        mask = self._set_mask
+        return self._sets[line & mask if mask >= 0 else line % self.num_sets].get(line)
 
     def insert(self, line: int, payload: Any = True) -> tuple[int, Any] | None:
         """Install ``line``; return the evicted ``(line, payload)`` if any.
@@ -108,7 +121,8 @@ class SetAssocCache:
         If the line is already present its payload is replaced and promoted
         to MRU with no eviction.
         """
-        s = self._sets[self._set_index(line)]
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self.num_sets]
         if line in s:
             del s[line]
             s[line] = payload
@@ -126,7 +140,8 @@ class SetAssocCache:
 
         Returns False when the line is not resident.
         """
-        s = self._sets[self._set_index(line)]
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self.num_sets]
         if line not in s:
             return False
         s[line] = payload
@@ -134,7 +149,8 @@ class SetAssocCache:
 
     def invalidate(self, line: int) -> Any | None:
         """Remove ``line``; return its payload, or None if absent."""
-        s = self._sets[self._set_index(line)]
+        mask = self._set_mask
+        s = self._sets[line & mask if mask >= 0 else line % self.num_sets]
         payload = s.pop(line, None)
         if payload is not None:
             self.stats.invalidations += 1
@@ -143,7 +159,8 @@ class SetAssocCache:
     # -- introspection -----------------------------------------------------------
 
     def __contains__(self, line: int) -> bool:
-        return line in self._sets[self._set_index(line)]
+        mask = self._set_mask
+        return line in self._sets[line & mask if mask >= 0 else line % self.num_sets]
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)

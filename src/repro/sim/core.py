@@ -25,7 +25,7 @@ event queue:
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProgramError, SimulationError
 from repro.isa.ops import (
@@ -40,6 +40,7 @@ from repro.isa.ops import (
 )
 from repro.isa.program import ThreadProgram
 from repro.sim.branch import GsharePredictor
+from repro.sim.engine import slow_paths_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.machine import Machine
@@ -55,7 +56,8 @@ class _Context:
     """One hardware thread context of a core."""
 
     __slots__ = ("index", "state", "program", "agent_id", "started_at",
-                 "spin_since", "send_value", "spin_cycles")
+                 "spin_since", "send_value", "spin_cycles", "resume",
+                 "pending", "resume_pending")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -66,13 +68,22 @@ class _Context:
         self.spin_since = 0
         self.send_value: int | None = None
         self.spin_cycles = 0
+        #: Prebound "pull my next op" event callback, created once by the
+        #: owning core so the hot loop never allocates per-event closures.
+        self.resume: Callable[[], None] = lambda: None
+        #: Op pulled ahead by the Compute-coalescing fast path, dispatched
+        #: by the prebound ``resume_pending`` callback (same no-allocation
+        #: rationale as ``resume``).  None means finish the thread.
+        self.pending: object | None = None
+        self.resume_pending: Callable[[], None] = lambda: None
 
 
 class Core:
     """One processor core of the CMP (possibly multi-context)."""
 
     __slots__ = ("core_id", "machine", "predictor", "contexts",
-                 "retired_instructions")
+                 "retired_instructions", "_coalesce", "_mem_access",
+                 "_retired", "_sanitizer")
 
     def __init__(self, core_id: int, machine: "Machine") -> None:
         self.core_id = core_id
@@ -81,6 +92,21 @@ class Core:
         self.contexts = [_Context(i)
                          for i in range(machine.config.smt_threads)]
         self.retired_instructions = 0
+        for ctx in self.contexts:
+            ctx.resume = (lambda c=ctx: self._step(c))
+            ctx.resume_pending = (lambda c=ctx: self._dispatch_pending(c))
+        #: Coalescing homogeneous Compute runs is bit-identical only when
+        #: the issue-width share cannot change mid-run (one context per
+        #: core) and no tracer wants per-op compute spans.
+        self._coalesce = (not slow_paths_enabled()
+                          and machine.config.smt_threads == 1
+                          and machine.trace is None)
+        self._mem_access = machine.memsys.make_port(core_id)
+        #: The counter file's per-core retired array and the sanitizer,
+        #: bound once (both are fixed at machine construction): the
+        #: per-op accounting below is two list bumps, not method calls.
+        self._retired = machine.counters._retired
+        self._sanitizer = machine.sanitizer
 
     # -- aggregate views -----------------------------------------------------
 
@@ -112,7 +138,7 @@ class Core:
         trace = self.machine.trace
         if trace is not None:
             trace.on_thread_start(self.core_id, agent_id, at)
-        self.machine.events.schedule(at, lambda: self._step(ctx))
+        self.machine.events.schedule(at, ctx.resume)
 
     def _finish_thread(self, ctx: _Context) -> None:
         agent_id = ctx.agent_id
@@ -144,38 +170,84 @@ class Core:
 
     def _step(self, ctx: _Context) -> None:
         """Pull and dispatch the context's next op (event callback)."""
-        machine = self.machine
-        events = machine.events
-        now = events.now
-        op = self._next_op(ctx)
+        if ctx.send_value is None:
+            # Inlined common case of _next_op: plain generator pull.
+            try:
+                op = next(ctx.program)  # type: ignore[arg-type]
+            except StopIteration:
+                op = None
+        else:
+            op = self._next_op(ctx)
         if op is None:
             self._finish_thread(ctx)
             return
+        self._dispatch(ctx, op)
+
+    def _dispatch_pending(self, ctx: _Context) -> None:
+        """Dispatch the op pulled ahead by the coalescing fast path."""
+        op = ctx.pending
+        if op is None:
+            self._finish_thread(ctx)
+            return
+        ctx.pending = None
+        self._dispatch(ctx, op)
+
+    def _dispatch(self, ctx: _Context, op) -> None:
+        """Execute one already-pulled op at the current cycle."""
+        machine = self.machine
+        events = machine.events
+        now = events.now
 
         if type(op) is Compute:
             n = op.instructions
+            if self._coalesce:
+                # Pull ahead through the whole homogeneous Compute run
+                # and schedule its completion as a single event.  Cycles
+                # are summed per op (ceil each), the share factor is a
+                # constant 1 (one context per core), and nothing outside
+                # this core can observe the intermediate cycles, so the
+                # schedule is bit-identical to stepping op by op.
+                width = machine.config.issue_width
+                cycles = -(-n // width) if n else 0
+                nxt = self._next_op(ctx)
+                while type(nxt) is Compute:
+                    extra = nxt.instructions
+                    n += extra
+                    if extra:
+                        cycles += -(-extra // width)
+                    nxt = self._next_op(ctx)
+                self.retired_instructions += n
+                self._retired[self.core_id] += n
+                if cycles:
+                    ctx.pending = nxt
+                    events.schedule(now + cycles, ctx.resume_pending)
+                elif nxt is None:
+                    self._finish_thread(ctx)
+                else:
+                    self._dispatch(ctx, nxt)
+                return
             share = max(1, self._active_contexts())
             cycles = (-(-n // machine.config.issue_width)) * share if n else 0
             self.retired_instructions += n
-            machine.counters.on_retire(self.core_id, n)
+            self._retired[self.core_id] += n
             if cycles:
                 if machine.trace is not None and ctx.agent_id is not None:
                     machine.trace.on_compute(self.core_id, ctx.agent_id,
                                              now, now + cycles)
-                events.schedule(now + cycles, lambda: self._step(ctx))
+                events.schedule(now + cycles, ctx.resume)
             else:
                 self._step(ctx)
             return
 
         if type(op) is Load or type(op) is Store:
-            san = machine.sanitizer
+            is_write = type(op) is Store
+            san = self._sanitizer
             if san is not None and ctx.agent_id is not None:
-                san.on_access(ctx.agent_id, op.addr, type(op) is Store, now)
-            done = machine.memsys.access(
-                self.core_id, op.addr, type(op) is Store, now)
+                san.on_access(ctx.agent_id, op.addr, is_write, now)
+            done = self._mem_access(op.addr, is_write, now)
             self.retired_instructions += 1
-            machine.counters.on_retire(self.core_id, 1)
-            events.schedule(done, lambda: self._step(ctx))
+            self._retired[self.core_id] += 1
+            events.schedule(done, ctx.resume)
             return
 
         if type(op) is Branch:
@@ -183,8 +255,8 @@ class Core:
             penalty = (0 if correct
                        else machine.config.branch_misprediction_penalty)
             self.retired_instructions += 1
-            machine.counters.on_retire(self.core_id, 1)
-            events.schedule(now + 1 + penalty, lambda: self._step(ctx))
+            self._retired[self.core_id] += 1
+            events.schedule(now + 1 + penalty, ctx.resume)
             return
 
         if type(op) is Lock:
@@ -196,7 +268,7 @@ class Core:
             if grant is None:
                 self._begin_spin(ctx, now)
             else:
-                events.schedule(grant, lambda: self._step(ctx))
+                events.schedule(grant, ctx.resume)
             return
 
         if type(op) is Unlock:
@@ -208,7 +280,7 @@ class Core:
             if handoff is not None:
                 next_agent, grant = handoff
                 machine.wake_agent(next_agent, grant)
-            events.schedule(now + 1, lambda: self._step(ctx))
+            events.schedule(now + 1, ctx.resume)
             return
 
         if type(op) is BarrierWait:
@@ -221,7 +293,7 @@ class Core:
                 return
             for agent_id, when in releases:
                 if agent_id == ctx.agent_id:
-                    events.schedule(when, lambda: self._step(ctx))
+                    events.schedule(when, ctx.resume)
                 else:
                     machine.wake_agent(agent_id, when)
             return
@@ -232,7 +304,7 @@ class Core:
                 san.on_read_counter(ctx.agent_id, op.kind, now)
             ctx.send_value = machine.counters.read(op.kind, self.core_id)
             # Reading a counter is a cheap serializing instruction.
-            events.schedule(now + 1, lambda: self._step(ctx))
+            events.schedule(now + 1, ctx.resume)
             return
 
         raise ProgramError(f"core {self.core_id}: unknown op {op!r}")
@@ -252,4 +324,4 @@ class Core:
                 f"{ctx.state.value}")
         ctx.state = CoreState.RUNNING
         ctx.spin_cycles += max(0, when - ctx.spin_since)
-        self.machine.events.schedule(when, lambda: self._step(ctx))
+        self.machine.events.schedule(when, ctx.resume)

@@ -90,28 +90,36 @@ class Dram:
 
         Reserves the bank: a later request to the same bank starts no
         earlier than this one completes (bank conflicts, Table 1).
+
+        The bank hash is written inline (same mix as :meth:`bank_of`):
+        this runs once per off-chip access, squarely on the simulator's
+        hottest path.
         """
-        bank = self.bank_of(line)
-        row = self.row_of(line)
-        start = max(now, self._bank_free[bank])
-        self.stats.total_queue_cycles += start - now
+        row = g = line // self._granule
+        g = ((g ^ (g >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+        g = ((g ^ (g >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+        bank = (g ^ (g >> 16)) & self._bank_mask
+        stats = self.stats
+        free = self._bank_free[bank]
+        start = now if now >= free else free
+        stats.total_queue_cycles += start - now
 
         open_row = self._open_row[bank]
         if open_row is None:
             latency = self._closed_lat
-            self.stats.row_closed += 1
+            stats.row_closed += 1
         elif open_row == row:
             latency = self._hit_lat
-            self.stats.row_hits += 1
+            stats.row_hits += 1
         else:
             latency = self._conflict_lat
-            self.stats.row_conflicts += 1
+            stats.row_conflicts += 1
 
         done = start + latency
         self._bank_free[bank] = done
         # Open-page leaves the row latched; closed-page precharges it.
         self._open_row[bank] = row if self._open_page else None
-        self.stats.accesses += 1
+        stats.accesses += 1
         return done
 
     def busy_until(self, bank: int) -> int:

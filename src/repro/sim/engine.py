@@ -3,33 +3,66 @@
 A minimal, deterministic event queue: events are ``(time, seq, callback)``
 triples ordered by time with a monotone sequence number breaking ties, so
 two runs of the same program produce bit-identical schedules.
+
+Internally the queue is split in two.  Most simulator events are
+scheduled in non-decreasing time order (each core schedules its own
+next step strictly in the future), so events whose time is at or past
+the latest pending time go to a plain FIFO *tail* — an append instead
+of a heap push — and only genuinely out-of-order events pay for the
+heap.  The pop side takes the smaller of the heap top and the tail
+head, which preserves the exact global (time, seq) order of a single
+heap.  ``REPRO_SLOW_PATHS=1`` forces the pure-heap reference mode (see
+``tests/test_perf_parity.py``).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+import os
+from collections import deque
+from typing import Callable, Protocol
 
 from repro.errors import SimulationError
 
 Callback = Callable[[], None]
 
 
+class Sampler(Protocol):
+    """Structural type of :attr:`EventQueue.sampler`: a pure observer
+    told the cycle the clock is about to advance to."""
+
+    def on_advance(self, now: int) -> None: ...
+
+
+def slow_paths_enabled() -> bool:
+    """True when ``REPRO_SLOW_PATHS`` asks for the reference code paths.
+
+    Checked once at construction time by every component that has an
+    optimized fast path (event queue, core, memory system), so a test
+    can flip the environment variable and build two machines whose
+    simulated behavior must be bit-identical.
+    """
+    return os.environ.get("REPRO_SLOW_PATHS", "") not in ("", "0")
+
+
 class EventQueue:
     """Deterministic priority queue of timed callbacks."""
 
-    __slots__ = ("_heap", "_seq", "now", "sampler")
+    __slots__ = ("_heap", "_tail", "_seq", "_fast", "now", "sampler")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Callback]] = []
+        #: FIFO fast path: events appended in non-decreasing time order.
+        self._tail: deque[tuple[int, int, Callback]] = deque()
         self._seq = 0
+        self._fast = not slow_paths_enabled()
         #: Current simulation time in cpu cycles.
         self.now = 0
         #: Optional pure observer notified (``on_advance(when)``) just
         #: before the clock advances to each event's cycle — how the
         #: tracer samples counters without scheduling events of its
         #: own.  One ``is None`` test per event when absent.
-        self.sampler = None
+        self.sampler: Sampler | None = None
 
     def schedule(self, when: int, callback: Callback) -> None:
         """Schedule ``callback`` to run at absolute cycle ``when``.
@@ -39,15 +72,32 @@ class EventQueue:
         """
         if when < self.now:
             raise SimulationError(f"cannot schedule event at {when}, now is {self.now}")
-        heapq.heappush(self._heap, (when, self._seq, callback))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        tail = self._tail
+        if self._fast and (not tail or when >= tail[-1][0]):
+            tail.append((when, seq, callback))
+        else:
+            heapq.heappush(self._heap, (when, seq, callback))
 
     def schedule_in(self, delay: int, callback: Callback) -> None:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
         self.schedule(self.now + delay, callback)
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._tail)
+
+    def _clamp(self, until: int) -> None:
+        """Advance the clock to ``until`` with no event firing there.
+
+        The sampler still observes the advance: counter samples at
+        boundaries in ``(now, until]`` must exist whether or not an
+        event happens to land on the bound.
+        """
+        if until > self.now:
+            if self.sampler is not None:
+                self.sampler.on_advance(until)
+            self.now = until
 
     def run(self, until: int | None = None) -> None:
         """Drain the queue, advancing :attr:`now` event by event.
@@ -57,24 +107,61 @@ class EventQueue:
                 queued and :attr:`now` is clamped to ``until``.
         """
         heap = self._heap
-        while heap:
-            when, _seq, callback = heap[0]
+        tail = self._tail
+        if until is None and self.sampler is None:
+            # Specialized drain for the dominant call (run_parallel):
+            # no bound to check and no observer to notify per event.
+            pop_tail = tail.popleft
+            pop_heap = heapq.heappop
+            while True:
+                if heap:
+                    # seq values are unique, so the tuple comparison
+                    # never reaches the (incomparable) callbacks.
+                    if tail and tail[0] < heap[0]:
+                        when, _seq, callback = pop_tail()
+                    else:
+                        when, _seq, callback = pop_heap(heap)
+                elif tail:
+                    when, _seq, callback = pop_tail()
+                else:
+                    return
+                self.now = when
+                callback()
+        while heap or tail:
+            # The next event is the smaller of the heap top and the
+            # tail head; seq values are unique, so the tuple comparison
+            # never reaches the (incomparable) callbacks.
+            if heap and (not tail or heap[0] < tail[0]):
+                event = heap[0]
+                from_heap = True
+            else:
+                event = tail[0]
+                from_heap = False
+            when, _seq, callback = event
             if until is not None and when > until:
-                self.now = until
+                self._clamp(until)
                 return
-            heapq.heappop(heap)
+            if from_heap:
+                heapq.heappop(heap)
+            else:
+                tail.popleft()
             if self.sampler is not None and when > self.now:
                 self.sampler.on_advance(when)
             self.now = when
             callback()
         if until is not None:
-            self.now = max(self.now, until)
+            self._clamp(until)
 
     def step(self) -> bool:
         """Run the single earliest event.  Returns False if queue is empty."""
-        if not self._heap:
+        heap = self._heap
+        tail = self._tail
+        if not heap and not tail:
             return False
-        when, _seq, callback = heapq.heappop(self._heap)
+        if heap and (not tail or heap[0] < tail[0]):
+            when, _seq, callback = heapq.heappop(heap)
+        else:
+            when, _seq, callback = tail.popleft()
         if self.sampler is not None and when > self.now:
             self.sampler.on_advance(when)
         self.now = when

@@ -17,6 +17,7 @@ extension) double up contexts.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError, DeadlockError, SimulationError
 from repro.isa.program import ProgramFactory
@@ -29,6 +30,10 @@ from repro.sim.engine import EventQueue
 from repro.sim.memsys import MemorySystem
 from repro.sim.ring import Ring
 from repro.sim.stats import RunResult, Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.check.sanitizer import ThreadSanitizer
+    from repro.trace.recorder import TraceRecorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +66,11 @@ def _place_nodes(num_cores: int, num_banks: int) -> tuple[list[int], list[int]]:
 class Machine:
     """A simulated CMP built from a :class:`MachineConfig`."""
 
+    __slots__ = ("config", "events", "ring", "memsys", "counters",
+                 "sanitizer", "trace", "locks", "barriers", "cores",
+                 "_team_size", "_threads_running", "_active_core_cycles",
+                 "_core_first_start")
+
     def __init__(self, config: MachineConfig | None = None) -> None:
         self.config = config or MachineConfig.asplos08_baseline()
         self.events = EventQueue()
@@ -73,7 +83,7 @@ class Machine:
         self.counters = CounterFile(self.events, self.memsys)
         #: Thread sanitizer (repro.check), or None.  A pure observer:
         #: attaching one never changes simulated timing.
-        self.sanitizer = None
+        self.sanitizer: ThreadSanitizer | None = None
         san_config = self.config.sanitizer
         if san_config is not None and san_config.enabled:
             # Imported lazily: the sim layer stays import-free of the
@@ -82,7 +92,7 @@ class Machine:
             self.sanitizer = ThreadSanitizer(san_config)
         #: Trace recorder (repro.trace), or None.  Like the sanitizer, a
         #: pure observer: attaching one never changes simulated timing.
-        self.trace = None
+        self.trace: TraceRecorder | None = None
         trace_config = self.config.trace
         if trace_config is not None and trace_config.enabled:
             # Imported lazily for the same reason as the sanitizer.

@@ -21,18 +21,31 @@ The hierarchy per Table 1:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.sim.bus import OffChipBus
 from repro.sim.cache import SetAssocCache
-from repro.sim.coherence import Directory, MesiState
+from repro.sim.coherence import Directory, DirectoryEntry, MesiState
 from repro.sim.config import MachineConfig
 from repro.sim.dram import Dram
+from repro.sim.engine import slow_paths_enabled
 from repro.sim.l3 import SharedL3
 from repro.sim.ring import Ring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.l3 import L3Bank
+    from repro.trace.recorder import TraceRecorder
+
+#: A core-side access function: ``port(addr, is_write, now) -> done``.
+AccessPort = Callable[[int, bool, int], int]
 
 _M = MesiState.MODIFIED
 _E = MesiState.EXCLUSIVE
 _S = MesiState.SHARED
+
+#: Shared empty victim set for the (overwhelmingly common) load miss with
+#: nobody to invalidate — avoids allocating a ``set()`` per miss.
+_NO_VICTIMS: frozenset[int] = frozenset()
 
 
 @dataclass(slots=True)
@@ -48,6 +61,10 @@ class MemSysStats:
 
 class MemorySystem:
     """Per-core private caches plus all shared structures."""
+
+    __slots__ = ("config", "ring", "core_nodes", "bank_nodes", "l1s", "l2s",
+                 "l3", "directory", "bus", "dram", "stats", "trace",
+                 "_offset_bits", "_fast")
 
     def __init__(self, config: MachineConfig, ring: Ring,
                  core_nodes: list[int], bank_nodes: list[int]) -> None:
@@ -73,21 +90,77 @@ class MemorySystem:
         #: Trace recorder (repro.trace), or None.  A pure observer fed
         #: the stall intervals of L2 misses and coherence upgrades —
         #: the accesses that actually block an in-order core.
-        self.trace = None
+        self.trace: TraceRecorder | None = None
         self._offset_bits = config.line_bytes.bit_length() - 1
+        self._fast = not slow_paths_enabled()
 
     # -- public API --------------------------------------------------------
 
     def line_of(self, addr: int) -> int:
         return addr >> self._offset_bits
 
+    def make_port(self, core: int) -> AccessPort:
+        """Build ``core``'s access function.
+
+        The returned port resolves the *entire load path* inline with
+        pre-bound locals: an L1 hit is one dict probe, an LRU touch and
+        two counter bumps; an L1 miss probes the L2 the same way and
+        either fills L1 or falls into :meth:`_miss`.  Stores and the
+        ``REPRO_SLOW_PATHS=1`` reference mode go through :meth:`access`
+        unchanged.  Every counter the port bumps is exactly the one the
+        slow path would, in the same order, so stats are bit-identical
+        either way.
+        """
+        full_access = self.access
+        l1 = self.l1s[core]
+        l2 = self.l2s[core]
+        l1_sets, l1_mask, l1_stats = l1.direct_state()
+        l2_sets, l2_mask, l2_stats = l2.direct_state()
+        if not self._fast or l1_mask < 0 or l2_mask < 0:
+            def slow_port(addr: int, is_write: bool, now: int) -> int:
+                return full_access(core, addr, is_write, now)
+            return slow_port
+        stats = self.stats
+        offset_bits = self._offset_bits
+        l1_latency = self.config.l1_latency
+        l1_l2_latency = l1_latency + self.config.l2_latency
+        l1_insert = l1.insert
+        miss = self._miss
+
+        def port(addr: int, is_write: bool, now: int) -> int:
+            if not is_write:
+                line = addr >> offset_bits
+                s = l1_sets[line & l1_mask]
+                if line in s:
+                    stats.loads += 1
+                    l1_stats.hits += 1
+                    s[line] = s.pop(line)  # LRU touch, same as lookup()
+                    return now + l1_latency
+                # L1 load miss: count it, then probe the L2 inline.  A
+                # load hit needs no state transition whatever the MESI
+                # state, so the probe is a touch plus an L1 fill.
+                stats.loads += 1
+                l1_stats.misses += 1
+                t = now + l1_l2_latency
+                s2 = l2_sets[line & l2_mask]
+                if line in s2:
+                    l2_stats.hits += 1
+                    s2[line] = s2.pop(line)  # LRU touch
+                    l1_insert(line, True)
+                    return t
+                l2_stats.misses += 1
+                return miss(core, line, False, t)
+            return full_access(core, addr, is_write, now)
+        return port
+
     def access(self, core: int, addr: int, is_write: bool, now: int) -> int:
         """Perform one access; return the cycle the core may proceed."""
         line = addr >> self._offset_bits
+        stats = self.stats
         if is_write:
-            self.stats.stores += 1
+            stats.stores += 1
         else:
-            self.stats.loads += 1
+            stats.loads += 1
 
         cfg = self.config
         l1 = self.l1s[core]
@@ -149,7 +222,7 @@ class MemorySystem:
         self.l2s[core].update(line, _S)
 
     def _inv_complete(self, start: int, bank_node: int,
-                      victims: set[int]) -> int:
+                      victims: "set[int] | frozenset[int]") -> int:
         """Cycle at which the home bank has all invalidation acks."""
         worst = start
         for v in victims:
@@ -179,46 +252,132 @@ class MemorySystem:
         return done
 
     def _miss(self, core: int, line: int, is_write: bool, t: int) -> int:
-        """L2 miss: consult the home bank directory, fetch data, fill."""
-        cfg = self.config
+        """L2 miss: consult the home bank directory, fetch data, fill.
+
+        The L3-or-memory leg is written inline (rather than as helper
+        calls) because this is the hottest multi-step path in the whole
+        simulator; every branch mirrors the protocol description in the
+        module docstring.
+        """
+        directory = self.directory
+        ring_lat = self.ring.latency_at
         bank = self.l3.bank_of(line)
         bank_node = self.bank_nodes[bank.index]
         core_node = self.core_nodes[core]
 
-        arrival = self.ring.latency_at(t, core_node, bank_node)
-        start = bank.start_access(arrival)
+        arrival = ring_lat(t, core_node, bank_node)
+        # Inline bank.start_access: reserve the (pipelined) bank.
+        free = bank._free
+        start = arrival if arrival >= free else free
+        bank._free = start + bank.occupancy
         t_dir = start + bank.latency
 
+        entries = directory._entries
+        sole_owner = False
         if is_write:
-            forward_from, was_dirty, invalidated = self.directory.on_getm(line, core)
+            forward_from, was_dirty, invalidated = directory.on_getm(line, core)
+        elif line in entries:
+            forward_from, was_dirty = directory.on_gets(line, core)
+            invalidated = _NO_VICTIMS
         else:
-            forward_from, was_dirty = self.directory.on_gets(line, core)
-            invalidated = set()
+            # Inlined on_gets fast case: no private copies anywhere, so
+            # the requester becomes sole owner and will fill in E.
+            directory.stats.gets += 1
+            entries[line] = DirectoryEntry(owner=core, owner_dirty=False)
+            forward_from = None
+            was_dirty = False
+            invalidated = _NO_VICTIMS
+            sole_owner = True
 
         if forward_from is not None:
             t_data = self._cache_to_cache(core, line, is_write, forward_from,
                                           was_dirty, bank, bank_node, t_dir)
         else:
-            ready = self._from_l3_or_memory(core, line, is_write, invalidated,
-                                            bank, bank_node, t_dir)
-            t_data = self.ring.latency_at(ready, bank_node, core_node)
+            # Data comes from the home L3 bank, or off-chip on an L3 miss.
+            if invalidated:
+                t_acks = self._inv_complete(t_dir, bank_node, invalidated)
+                for v in invalidated:
+                    self._invalidate_private(v, line)
+            else:
+                t_acks = t_dir
+            # Inline L3 tag probe (same counting/LRU as cache.lookup).
+            c3 = bank.cache
+            m3 = c3._set_mask
+            s3 = c3._sets[line & m3] if m3 >= 0 else None
+            if s3 is not None and line in s3:
+                c3.stats.hits += 1
+                s3[line] = s3.pop(line)  # LRU touch
+                ready = t_acks
+            elif s3 is None and c3.lookup(line) is not None:
+                ready = t_acks
+            else:
+                if s3 is not None:
+                    c3.stats.misses += 1
+                # Off-chip: request phase -> DRAM bank -> bus data phase.
+                bus = self.bus
+                t_mem = self.dram.access(line, t_dir + bus.latency)
+                t_bus = bus.data_phase(t_mem)
+                # Inline L3 fill; the probe above just missed and nothing
+                # since touched this set, so the line is known absent.
+                if s3 is not None:
+                    if len(s3) >= c3.assoc:
+                        vline3 = next(iter(s3))
+                        vdirty3 = s3.pop(vline3)
+                        c3.stats.evictions += 1
+                        s3[line] = False
+                        self._l3_evict((vline3, vdirty3), t_bus)
+                    else:
+                        s3[line] = False
+                else:
+                    victim = c3.insert(line, False)
+                    if victim is not None:
+                        self._l3_evict(victim, t_bus)
+                ready = t_bus if t_bus > t_acks else t_acks
+            t_data = ring_lat(ready, bank_node, core_node)
 
-        new_state = _M if is_write else self._load_fill_state(line, core)
-        self._l2_install(core, line, new_state)
-        self._l1_fill(core, line)
+        if is_write:
+            new_state = _M
+        elif sole_owner:
+            new_state = _E
+        else:
+            entry = entries.get(line)
+            new_state = _E if (entry is not None and entry.owner == core) else _S
+        # Inline the L2 and L1 fills: every caller reaches _miss only
+        # after both probes missed, so the line is known absent and the
+        # membership check inside insert() can be skipped.
+        l2 = self.l2s[core]
+        m2 = l2._set_mask
+        if m2 >= 0:
+            s2 = l2._sets[line & m2]
+            if len(s2) >= l2.assoc:
+                vline2 = next(iter(s2))
+                vstate2 = s2.pop(vline2)
+                l2.stats.evictions += 1
+                s2[line] = new_state
+                self._l2_evict(core, (vline2, vstate2))
+            else:
+                s2[line] = new_state
+        else:
+            victim2 = l2.insert(line, new_state)
+            if victim2 is not None:
+                self._l2_evict(core, victim2)
+        l1 = self.l1s[core]
+        m1 = l1._set_mask
+        if m1 >= 0:
+            s1 = l1._sets[line & m1]
+            if len(s1) >= l1.assoc:
+                s1.pop(next(iter(s1)))  # L1 evictions are silent
+                l1.stats.evictions += 1
+            s1[line] = True
+        else:
+            l1.insert(line, True)
         if self.trace is not None:
             self.trace.on_mem_access(core, line, is_write, t, t_data)
         return t_data
 
-    def _load_fill_state(self, line: int, core: int) -> MesiState:
-        entry = self.directory.entry(line)
-        if entry is not None and entry.owner == core:
-            return _E
-        return _S
-
     def _cache_to_cache(self, core: int, line: int, is_write: bool,
                         owner: int, was_dirty: bool,
-                        bank, bank_node: int, t_dir: int) -> int:
+                        bank: "L3Bank", bank_node: int, t_dir: int) -> int:
         """Forward the line from the current owner's L2 to the requester."""
         owner_node = self.core_nodes[owner]
         core_node = self.core_nodes[core]
@@ -234,34 +393,14 @@ class MemorySystem:
                 bank.cache.update(line, False)
         return t_data
 
-    def _from_l3_or_memory(self, core: int, line: int, is_write: bool,
-                           invalidated: set[int], bank, bank_node: int,
-                           t_dir: int) -> int:
-        """Data comes from the home L3 bank, or off-chip on an L3 miss.
-
-        Returns the cycle the data is ready *at the bank* (caller adds the
-        ring trip back to the requester).
-        """
-        t_acks = self._inv_complete(t_dir, bank_node, invalidated)
-        for v in invalidated:
-            self._invalidate_private(v, line)
-
-        l3_state = bank.cache.lookup(line)
-        if l3_state is not None:
-            return t_acks
-
-        # Off-chip: request phase -> DRAM bank -> data phase on the bus.
-        t_req = self.bus.request_phase(t_dir)
-        t_mem = self.dram.access(line, t_req)
-        t_bus = self.bus.data_phase(t_mem)
-        self._l3_install(bank, line, t_bus)
-        return max(t_bus, t_acks)
-
-    def _l3_install(self, bank, line: int, now: int) -> None:
+    def _l3_install(self, bank: "L3Bank", line: int, now: int) -> None:
         """Fill a line into L3, recalling private copies of the victim."""
         victim = bank.cache.insert(line, False)
-        if victim is None:
-            return
+        if victim is not None:
+            self._l3_evict(victim, now)
+
+    def _l3_evict(self, victim: tuple[int, bool], now: int) -> None:
+        """Recall private copies of an L3 victim; write dirty data back."""
         victim_line, victim_dirty = victim
         holders, holder_dirty = self.directory.on_recall(victim_line)
         for h in holders:
@@ -278,8 +417,11 @@ class MemorySystem:
     def _l2_install(self, core: int, line: int, state: MesiState) -> None:
         """Fill a line into a private L2, handling the victim."""
         victim = self.l2s[core].insert(line, state)
-        if victim is None:
-            return
+        if victim is not None:
+            self._l2_evict(core, victim)
+
+    def _l2_evict(self, core: int, victim: tuple[int, MesiState]) -> None:
+        """Handle an L2 eviction: inclusion in L1, directory, writeback."""
         victim_line, victim_state = victim
         # Inclusion: the L1 copy goes with the L2 copy.
         self.l1s[core].invalidate(victim_line)

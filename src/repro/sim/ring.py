@@ -92,8 +92,9 @@ class Ring:
         n = self.num_nodes
         clockwise_hops = (dst - src) % n
         h = self._dist[clockwise_hops]
-        self.stats.messages += 1
-        self.stats.total_hops += h
+        stats = self.stats
+        stats.messages += 1
+        stats.total_hops += h
         if self.link_occupancy == 0 or h == 0:
             return now + h * self.hop_latency
 

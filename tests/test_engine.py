@@ -116,3 +116,101 @@ def test_len_reflects_pending_events():
     assert len(q) == 2
     q.run()
     assert len(q) == 0
+
+
+class _RecordingSampler:
+    """Minimal Sampler: records every cycle the clock advances to."""
+
+    def __init__(self) -> None:
+        self.advances: list[int] = []
+
+    def on_advance(self, now: int) -> None:
+        self.advances.append(now)
+
+
+def test_sampler_observes_every_advance():
+    q = EventQueue()
+    q.sampler = sampler = _RecordingSampler()
+    q.schedule(3, lambda: None)
+    q.schedule(3, lambda: None)  # same-cycle event: no second advance
+    q.schedule(9, lambda: None)
+    q.run()
+    assert sampler.advances == [3, 9]
+
+
+def test_run_until_clamp_notifies_sampler():
+    """Clamping to ``until`` is a clock advance like any other: the
+    sampler must see it whether or not an event lands on the bound,
+    and whether or not any event fired during the run at all."""
+    q = EventQueue()
+    q.sampler = sampler = _RecordingSampler()
+    q.schedule(10, lambda: None)
+    q.schedule(100, lambda: None)
+    q.run(until=50)
+    assert q.now == 50
+    assert sampler.advances == [10, 50]
+
+    # Empty-drain clamp: no event before the bound.
+    q.run(until=80)
+    assert q.now == 80
+    assert sampler.advances == [10, 50, 80]
+
+    # No regression to a time already reached: until == now is a no-op.
+    q.run(until=80)
+    assert sampler.advances == [10, 50, 80]
+
+    q.run()
+    assert sampler.advances == [10, 50, 80, 100]
+
+
+def test_step_notifies_sampler_only_on_advance():
+    q = EventQueue()
+    q.sampler = sampler = _RecordingSampler()
+    q.schedule(0, lambda: None)  # fires at the current cycle
+    q.schedule(4, lambda: None)
+    q.step()
+    assert sampler.advances == []
+    q.step()
+    assert sampler.advances == [4]
+
+
+def test_out_of_order_schedules_interleave_with_fifo_tail():
+    """Mixed heap/tail usage preserves the exact (time, seq) order.
+
+    Monotone schedules take the FIFO tail; scheduling *earlier* than
+    the pending tail head must divert to the heap and still pop first.
+    """
+    q = EventQueue()
+    seen = []
+    q.schedule(50, lambda: seen.append("d"))   # tail
+    q.schedule(20, lambda: seen.append("b"))   # earlier -> heap
+    q.schedule(10, lambda: seen.append("a"))   # earlier still -> heap
+    q.schedule(20, lambda: seen.append("c"))   # ties with "b"; later seq
+
+    def late():
+        seen.append("e")
+        q.schedule(q.now, lambda: seen.append("f"))  # same-cycle re-entry
+
+    q.schedule(60, late)
+    q.run()
+    assert seen == ["a", "b", "c", "d", "e", "f"]
+    assert q.now == 60
+
+
+def test_interleaving_identical_with_slow_paths(monkeypatch):
+    """The split queue's pop order must equal the pure-heap reference."""
+    schedule = [(7, "a"), (3, "b"), (7, "c"), (3, "d"), (12, "e"),
+                (5, "f"), (12, "g"), (1, "h")]
+
+    def drain() -> list[str]:
+        q = EventQueue()
+        seen: list[str] = []
+        for when, tag in schedule:
+            q.schedule(when, lambda t=tag: seen.append(t))
+        q.run()
+        return seen
+
+    monkeypatch.delenv("REPRO_SLOW_PATHS", raising=False)
+    fast = drain()
+    monkeypatch.setenv("REPRO_SLOW_PATHS", "1")
+    assert fast == drain() == ["h", "b", "d", "f", "a", "c", "e", "g"]
