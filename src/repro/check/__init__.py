@@ -7,12 +7,16 @@ package is the correctness gate in front of that pipeline:
 
 * :mod:`repro.check.lockset` — Eraser-style lockset race detection;
 * :mod:`repro.check.lockorder` — lock-order (potential deadlock) cycles;
-* :mod:`repro.check.discipline` — lock/barrier/counter discipline lint.
+* :mod:`repro.check.discipline` — lock/barrier/counter discipline lint;
+* :mod:`repro.check.static` — ahead-of-run analysis: abstract-executes
+  the op streams (no simulation) to prove lock/barrier properties and
+  derive static SAT/BAT priors.
 
 Attach a :class:`~repro.sim.config.SanitizerConfig` to a
 :class:`~repro.sim.config.MachineConfig` to observe any run, or use
 :func:`check_application` / :func:`check_workload` (the ``repro check``
-CLI entry) for a one-call verdict.
+CLI entry) for a one-call verdict; :func:`analyze_workload` is the
+static-analysis counterpart (``repro check --static``).
 """
 
 from repro.check.events import SanitizerHooks
@@ -22,12 +26,19 @@ from repro.check.findings import (
     LOCK_ORDER,
     RACE,
     RUNTIME,
+    STATIC,
     AccessSite,
     CheckReport,
     Finding,
 )
 from repro.check.runner import DEFAULT_THREADS, check_application, check_workload
 from repro.check.sanitizer import ThreadSanitizer
+from repro.check.static import (
+    StaticCheckConfig,
+    StaticReport,
+    analyze_application,
+    analyze_workload,
+)
 
 __all__ = [
     "ANALYSES",
@@ -35,12 +46,17 @@ __all__ = [
     "LOCK_ORDER",
     "RACE",
     "RUNTIME",
+    "STATIC",
     "AccessSite",
     "CheckReport",
     "DEFAULT_THREADS",
     "Finding",
     "SanitizerHooks",
+    "StaticCheckConfig",
+    "StaticReport",
     "ThreadSanitizer",
+    "analyze_application",
+    "analyze_workload",
     "check_application",
     "check_workload",
 ]

@@ -18,8 +18,11 @@ RACE = "race"
 LOCK_ORDER = "lock-order"
 DISCIPLINE = "discipline"
 RUNTIME = "runtime"
+#: Ahead-of-run findings from :mod:`repro.check.static` — program
+#: properties proved from op summaries before a single cycle simulates.
+STATIC = "static"
 
-ANALYSES = (RACE, LOCK_ORDER, DISCIPLINE, RUNTIME)
+ANALYSES = (RACE, LOCK_ORDER, DISCIPLINE, RUNTIME, STATIC)
 
 
 @dataclass(frozen=True, slots=True)

@@ -142,3 +142,10 @@ def _cycle_within(adjacency: dict[int, list[int]],
         frontier = nxt_frontier
     # Unreachable for a genuine SCC; defend anyway.
     return [start, start]  # pragma: no cover
+
+
+#: Public aliases: the static lock-order pass (repro.check.static.locks)
+#: shares this module's cycle-detection implementation, so the dynamic
+#: and ahead-of-run analyses can never disagree about what a cycle is.
+strongly_connected = _strongly_connected
+cycle_within = _cycle_within

@@ -84,15 +84,18 @@ def check_workload(name: str, scale: float = 0.5,
 
     Fixture names (``synthetic-racy``, ``synthetic-lock-inversion``,
     ``synthetic-unheld-unlock``) resolve to the sanitizer's positive
-    controls; anything else is looked up in the Table 2 registry.
+    controls and the static analyzer's controls (``static-deadlock``,
+    ``static-barrier-mismatch``, ``static-counter-in-cs``) also resolve
+    here, so both checkers accept the same names; anything else is
+    looked up in the Table 2 registry.
 
     Raises:
         WorkloadError: unknown name.
     """
     from repro.workloads import get
-    from repro.workloads.synthetic import sanitizer_fixtures
+    from repro.workloads.synthetic import sanitizer_fixtures, static_fixtures
 
-    fixtures = sanitizer_fixtures()
+    fixtures = {**sanitizer_fixtures(), **static_fixtures()}
     if name in fixtures:
         app = fixtures[name](scale)
     else:

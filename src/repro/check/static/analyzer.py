@@ -1,0 +1,228 @@
+"""The static analyzer: abstract-execute an application, run the passes.
+
+:func:`analyze_application` abstract-executes every kernel of an
+application at each requested team size (plus a team of one for the
+priors), runs the pass pipeline over each team summary, deduplicates
+findings across team sizes, and returns a :class:`StaticReport`.
+:func:`analyze_workload` resolves names the same way ``repro check``
+does — Table 2 registry entries, the dynamic sanitizer's fixtures, and
+the static positive controls — building a *fresh* application per team
+size so stateful kernels cannot leak facts between analyses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.check.findings import CheckReport, Finding
+from repro.check.static.barriers import barrier_findings
+from repro.check.static.executor import AbstractExecutor
+from repro.check.static.lints import lint_findings
+from repro.check.static.locks import lock_fault_findings, lock_order_findings
+from repro.check.static.profile import profile_team, team_priors
+from repro.check.static.summary import StaticCheckConfig, TeamSummary
+from repro.errors import WorkloadError
+from repro.fdt.priors import StaticPriors
+from repro.fdt.runner import Application
+from repro.sim.config import MachineConfig
+
+#: Default team sizes to analyze.  One team of one (the priors' view),
+#: one small team, one team wide enough to shift barrier/chunk shapes.
+DEFAULT_THREAD_COUNTS = (1, 4, 16)
+
+
+@dataclass(frozen=True, slots=True)
+class StaticReport:
+    """Everything one static analysis produced."""
+
+    workload: str
+    thread_counts: tuple[int, ...]
+    findings: tuple[Finding, ...]
+    #: Kernel name -> SAT/BAT priors from the team-of-one summary.
+    priors: dict[str, StaticPriors] = field(default_factory=dict)
+    #: JSON-ready per-kernel, per-team-size profiles.
+    profiles: tuple[dict[str, Any], ...] = ()
+    #: Some thread hit the op budget; findings are sound but incomplete.
+    truncated: bool = False
+    #: Findings dropped at the ``max_findings`` cap.
+    dropped: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """Finding count per kind."""
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def as_check_report(self) -> CheckReport:
+        """Bridge to the dynamic report type, for the shared formatter."""
+        return CheckReport(
+            workload=self.workload,
+            threads=max(self.thread_counts),
+            findings=self.findings,
+            aborted=None,
+            cycles=0,
+            dropped=self.dropped,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "thread_counts": list(self.thread_counts),
+            "clean": self.clean,
+            "truncated": self.truncated,
+            "dropped": self.dropped,
+            "counts": self.counts(),
+            "findings": [f.to_dict() for f in self.findings],
+            "priors": {k: p.to_dict() for k, p in sorted(self.priors.items())},
+            "profiles": list(self.profiles),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def analyze_application(
+        build: Application | Callable[[], Application],
+        thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+        config: MachineConfig | None = None,
+        static: StaticCheckConfig | None = None) -> StaticReport:
+    """Statically analyze an application at each requested team size.
+
+    Args:
+        build: the application, or a zero-argument builder.  Pass a
+            builder whenever kernels carry mutable state: a fresh
+            application is then built per team size, so no analysis can
+            observe another's side effects.
+        thread_counts: team sizes to analyze.  A team of one is always
+            added (the priors derive from it).
+        config: machine whose cost parameters drive the abstract model
+            (Table 1 baseline if None).
+        static: analyzer knobs.
+    """
+    if not thread_counts:
+        raise WorkloadError("static analysis needs at least one team size")
+    if any(n < 1 for n in thread_counts):
+        raise WorkloadError("team sizes must be >= 1")
+    cfg = config or MachineConfig.asplos08_baseline()
+    scfg = static or StaticCheckConfig()
+    builder = build if callable(build) else _constant(build)
+
+    sizes = tuple(sorted(set(thread_counts) | {1}))
+    name = ""
+    findings: list[Finding] = []
+    seen: set[tuple[str, str]] = set()
+    priors: dict[str, StaticPriors] = {}
+    profiles: list[dict[str, Any]] = []
+    truncated = False
+    dropped = 0
+
+    executor = AbstractExecutor(scfg, cfg)
+    for num_threads in sizes:
+        app = builder()
+        name = app.name
+        for kernel in app.kernels:
+            factories = kernel.factories(
+                range(kernel.total_iterations), num_threads)
+            team = executor.run_team(kernel.name, factories, num_threads)
+            truncated = truncated or team.truncated
+
+            if num_threads == 1 and (scfg.cs_profile or scfg.footprint):
+                priors[kernel.name] = team_priors(
+                    team, kernel.total_iterations, cfg)
+            if scfg.cs_profile or scfg.footprint:
+                profiles.append(profile_team(team, cfg))
+
+            for f in _team_findings(team, scfg):
+                key = (f.kind, _identity(f))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if len(findings) >= scfg.max_findings:
+                    dropped += 1
+                    continue
+                findings.append(f)
+
+    return StaticReport(
+        workload=name,
+        thread_counts=tuple(sorted(set(thread_counts))),
+        findings=tuple(findings),
+        priors=priors,
+        profiles=tuple(profiles),
+        truncated=truncated,
+        dropped=dropped,
+    )
+
+
+def analyze_workload(
+        name: str, scale: float = 0.5,
+        thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+        config: MachineConfig | None = None,
+        static: StaticCheckConfig | None = None) -> StaticReport:
+    """Statically analyze a workload by name.
+
+    Resolves Table 2 registry entries, the dynamic sanitizer's fixtures,
+    and the static positive controls (``static-deadlock``,
+    ``static-barrier-mismatch``, ``static-counter-in-cs``).
+
+    Raises:
+        WorkloadError: unknown name.
+    """
+    from repro.workloads import get
+    from repro.workloads.synthetic import sanitizer_fixtures, static_fixtures
+
+    fixtures = {**sanitizer_fixtures(), **static_fixtures()}
+    if name in fixtures:
+        build = fixtures[name]
+    else:
+        try:
+            spec = get(name)
+        except WorkloadError:
+            known = ", ".join(sorted(fixtures))
+            raise WorkloadError(
+                f"unknown workload {name!r} (fixtures: {known}; run "
+                f"'repro list' for the Table 2 roster)") from None
+        build = spec.build
+    return analyze_application(lambda: build(scale),
+                               thread_counts=thread_counts,
+                               config=config, static=static)
+
+
+def _constant(app: Application) -> Callable[[], Application]:
+    """A builder that returns the one already-built application."""
+    def build() -> Application:
+        return app
+    return build
+
+
+def _team_findings(team: TeamSummary,
+                   config: StaticCheckConfig) -> list[Finding]:
+    """Run the enabled passes over one team summary, in report order."""
+    out: list[Finding] = []
+    if config.lock_order:
+        out.extend(lock_fault_findings(team))
+        out.extend(lock_order_findings(team))
+    if config.barriers:
+        out.extend(barrier_findings(team))
+    if config.lints:
+        out.extend(lint_findings(team, config))
+    return out
+
+
+def _identity(f: Finding) -> str:
+    """Dedup key: the details minus the team size they were seen at.
+
+    The same structural defect usually reproduces at every analyzed
+    team size with identical details except ``num_threads`` (and, for
+    barrier findings, the per-team arrival bookkeeping); collapsing on
+    the remainder keeps one witness per defect.
+    """
+    skip = {"num_threads", "arrivals", "threads", "position"}
+    pruned = {k: v for k, v in f.details.items() if k not in skip}
+    return json.dumps(pruned, sort_keys=True, default=str)

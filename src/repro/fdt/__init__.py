@@ -31,6 +31,12 @@ from repro.fdt.kernel import DataParallelKernel, Kernel, TeamParallelKernel
 from repro.fdt.training import TrainingConfig, TrainingLog, TrainingSample
 from repro.fdt.estimators import Estimates, estimate
 from repro.fdt.policies import FdtMode, FdtPolicy, StaticPolicy, ThreadingPolicy
+from repro.fdt.priors import (
+    PriorAgreement,
+    StaticPriors,
+    derive_priors,
+    measure_estimates,
+)
 from repro.fdt.runner import Application, AppRunResult, KernelRunInfo, run_application
 
 __all__ = [
@@ -46,6 +52,10 @@ __all__ = [
     "FdtPolicy",
     "StaticPolicy",
     "ThreadingPolicy",
+    "StaticPriors",
+    "PriorAgreement",
+    "derive_priors",
+    "measure_estimates",
     "Application",
     "AppRunResult",
     "KernelRunInfo",

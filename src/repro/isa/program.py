@@ -47,6 +47,9 @@ def validate_program(ops: Iterable[Op]) -> list[Op]:
     Checks performed:
 
     * every item is a known op type;
+    * branch sites have non-negative ``pc`` values (the gshare predictor
+      indexes its table with the pc; a negative one is always a bug in
+      the emitting workload);
     * lock/unlock pairs are balanced and properly nested per lock id;
     * no lock is released by a program that never acquired it.
 
@@ -61,16 +64,21 @@ def validate_program(ops: Iterable[Op]) -> list[Op]:
     for i, op in enumerate(ops):
         if not isinstance(op, _VALID_OP_TYPES):
             raise ProgramError(f"op {i} is not a valid instruction: {op!r}")
-        if isinstance(op, Lock):
+        if isinstance(op, Branch):
+            if op.pc < 0:
+                raise ProgramError(
+                    f"op {i} is a branch with negative pc {op.pc}")
+        elif isinstance(op, Lock):
             held.append(op.lock_id)
         elif isinstance(op, Unlock):
             if not held:
                 raise ProgramError(f"op {i} releases lock {op.lock_id} while holding none")
-            expected = held.pop()
-            if expected != op.lock_id:
+            if held[-1] != op.lock_id:
                 raise ProgramError(
-                    f"op {i} releases lock {op.lock_id} but innermost held lock is {expected}"
+                    f"op {i} releases lock {op.lock_id} but innermost held "
+                    f"lock is {held[-1]} (locks held: {held})"
                 )
+            held.pop()
         out.append(op)
     if held:
         raise ProgramError(f"program ended while still holding locks {held}")

@@ -23,6 +23,12 @@ from repro.jobs.api import JobRunner
 from repro.jobs.cache import ResultCache, default_cache_dir
 from repro.jobs.executor import JobOutcome, execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
+from repro.jobs.preflight import (
+    FATAL_KINDS,
+    PreflightVerdict,
+    preflight_key,
+    run_preflight,
+)
 from repro.jobs.results import app_result_from_dict, app_result_to_dict
 from repro.jobs.spec import (
     SCHEMA_VERSION,
@@ -43,6 +49,10 @@ __all__ = [
     "RunManifest",
     "ManifestEntry",
     "JobOutcome",
+    "FATAL_KINDS",
+    "PreflightVerdict",
+    "preflight_key",
+    "run_preflight",
     "execute_jobs",
     "default_cache_dir",
     "app_result_to_dict",

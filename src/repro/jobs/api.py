@@ -25,6 +25,7 @@ from repro.fdt.runner import AppRunResult
 from repro.jobs.cache import ResultCache
 from repro.jobs.executor import execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
+from repro.jobs.preflight import PreflightVerdict, preflight_key, run_preflight
 from repro.jobs.results import app_result_from_dict
 from repro.jobs.spec import JobSpec
 
@@ -44,19 +45,28 @@ class JobRunner:
             ``trace_dir/<job key>/``; the manifest entry carries the
             path.  Cache and memo hits are never re-simulated, so they
             produce no trace — use ``cache=None`` to trace everything.
+        preflight: statically verify each workload before dispatch
+            (:mod:`repro.jobs.preflight`) and refuse to execute specs
+            with provable hangs or lock faults.  Verdicts are cached
+            alongside results, so a sweep pays for each distinct
+            workload once.  Cache and memo hits skip the gate — they
+            already completed once.
     """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  timeout: float | None = None, retries: int = 1,
                  manifest: RunManifest | None = None,
-                 trace_dir: str | None = None) -> None:
+                 trace_dir: str | None = None,
+                 preflight: bool = False) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
         self.retries = retries
         self.manifest = manifest if manifest is not None else RunManifest()
         self.trace_dir = trace_dir
+        self.preflight = preflight
         self._memo: dict[str, dict] = {}
+        self._preflight_memo: dict[str, PreflightVerdict] = {}
 
     def run_one(self, spec: JobSpec) -> AppRunResult:
         """Resolve a single spec (see :meth:`run`)."""
@@ -86,10 +96,56 @@ class JobRunner:
                 seen.add(key)
                 misses.append((key, spec))
         if misses:
+            if self.preflight:
+                self._gate(misses)
             self._compute(misses)
         return [app_result_from_dict(self._memo[key]) for key in keys]
 
     # -- internals ---------------------------------------------------------
+
+    def _gate(self, misses: list[tuple[str, JobSpec]]) -> None:
+        """Refuse to dispatch specs the static analyzer proves broken.
+
+        Runs before any miss executes, so one poisoned spec stops the
+        whole batch instead of wasting the healthy jobs' work on a
+        result set that can never complete.
+        """
+        rejected: list[str] = []
+        for key, spec in misses:
+            verdict = self._preflight_verdict(spec)
+            if not verdict.ok:
+                self._record(key, spec, status="preflight-failed",
+                             backend="static",
+                             error="; ".join(verdict.fatal))
+                rejected.append(
+                    f"{spec.label}: {'; '.join(verdict.fatal)}")
+        if rejected:
+            raise JobError(
+                f"{len(rejected)} job(s) failed pre-flight verification: "
+                + " | ".join(rejected))
+
+    def _preflight_verdict(self, spec: JobSpec) -> PreflightVerdict:
+        """Memo -> cache -> analyze, mirroring the result chain."""
+        pkey = preflight_key(spec)
+        verdict = self._preflight_memo.get(pkey)
+        if verdict is not None:
+            return verdict
+        if self.cache is not None:
+            cached = self.cache.get(pkey)
+            if cached is not None:
+                try:
+                    verdict = PreflightVerdict.from_dict(cached)
+                except (KeyError, TypeError, ValueError):
+                    verdict = None  # corrupt entry: re-analyze
+            if verdict is not None:
+                self._preflight_memo[pkey] = verdict
+                return verdict
+        verdict = run_preflight(spec)
+        self._preflight_memo[pkey] = verdict
+        if self.cache is not None:
+            self.cache.put(pkey, {"preflight": spec.workload.to_dict()},
+                           verdict.to_dict())
+        return verdict
 
     def _load_cached(self, key: str) -> dict | None:
         """Cache lookup that also validates the entry deserializes."""

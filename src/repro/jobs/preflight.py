@@ -1,0 +1,101 @@
+"""Pre-flight gate: statically verify a job's workload before dispatch.
+
+A batch that deadlocks 40 minutes into a sweep wastes every core it was
+scheduled on.  The pre-flight gate runs the static analyzer
+(:mod:`repro.check.static`) over a job's workload *before* the job is
+dispatched and refuses to run specs whose programs provably hang or
+corrupt the lock manager.  Verdicts are content-addressed — hashed from
+the workload reference, the analyzed team sizes, and the machine's cost
+parameters — and stored in the same :class:`~repro.jobs.cache.
+ResultCache` as job results, so a sweep re-analyzes each distinct
+workload once, not once per point.
+
+Only *proved* defects block dispatch (:data:`FATAL_KINDS`): barrier
+mismatches and structural lock faults.  Potential lock-order cycles and
+lints are advisory — the FIFO lock manager may well dodge a latent
+inversion, and killing a job over a lint would gate style, not safety.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.jobs.spec import SCHEMA_VERSION, JobSpec, config_to_dict
+
+#: Finding kinds that prove the run cannot complete correctly.
+FATAL_KINDS = frozenset({
+    "static-barrier-count-mismatch",
+    "static-barrier-sequence-divergence",
+    "static-double-acquire",
+    "static-unlock-of-unheld",
+    "static-unlock-mismatch",
+    "static-held-at-exit",
+})
+
+#: Team sizes the gate analyzes: one (priors/pairing), the sanitizer's
+#: default contention team, and a wide team (chunk-shape effects).
+PREFLIGHT_THREAD_COUNTS = (1, 4, 16)
+
+
+@dataclass(frozen=True, slots=True)
+class PreflightVerdict:
+    """Outcome of one pre-flight analysis."""
+
+    workload: str
+    ok: bool
+    #: kind -> count over all findings (fatal and advisory alike).
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Messages of the fatal findings (empty when ok).
+    fatal: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"workload": self.workload, "ok": self.ok,
+                "counts": dict(self.counts), "fatal": list(self.fatal)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PreflightVerdict":
+        return cls(workload=str(data["workload"]), ok=bool(data["ok"]),
+                   counts={str(k): int(v)
+                           for k, v in data.get("counts", {}).items()},
+                   fatal=tuple(str(m) for m in data.get("fatal", ())))
+
+
+def preflight_key(spec: JobSpec) -> str:
+    """Content address of a spec's pre-flight verdict.
+
+    Distinct from the job's result key: the verdict depends only on the
+    workload, the analyzed team sizes, and the machine (whose cost
+    parameters drive the abstract model) — not on the threading policy —
+    so every policy variant of one workload shares one verdict.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "preflight": 1,
+        "workload": spec.workload.to_dict(),
+        "config": config_to_dict(spec.config),
+        "thread_counts": list(PREFLIGHT_THREAD_COUNTS),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_preflight(spec: JobSpec) -> PreflightVerdict:
+    """Statically analyze a job's workload; never raises on findings."""
+    from repro.check.static import analyze_application
+
+    report = analyze_application(spec.workload.build,
+                                 thread_counts=PREFLIGHT_THREAD_COUNTS,
+                                 config=spec.config)
+    counts: dict[str, int] = {}
+    fatal: list[str] = []
+    for f in report.findings:
+        counts[f.kind] = counts.get(f.kind, 0) + 1
+        if f.kind in FATAL_KINDS:
+            fatal.append(f.message)
+    return PreflightVerdict(workload=spec.workload.label,
+                            ok=not fatal,
+                            counts=counts,
+                            fatal=tuple(fatal))

@@ -25,7 +25,17 @@ from typing import Callable, Iterator
 from repro.errors import WorkloadError
 from repro.fdt.kernel import TeamParallelKernel
 from repro.fdt.runner import Application
-from repro.isa.ops import BarrierWait, Compute, Load, Lock, Op, Store, Unlock
+from repro.isa.ops import (
+    BarrierWait,
+    Compute,
+    CounterKind,
+    Load,
+    Lock,
+    Op,
+    ReadCounter,
+    Store,
+    Unlock,
+)
 from repro.runtime.parallel import static_chunks
 from repro.workloads.base import LINE, AddressSpace
 
@@ -235,6 +245,129 @@ def sanitizer_fixtures() -> dict[str, Callable[[float], Application]]:
         "synthetic-racy": build_racy,
         "synthetic-lock-inversion": build_lock_inversion,
         "synthetic-unheld-unlock": build_unheld_unlock,
+    }
+
+
+# -- static-analyzer positive controls ------------------------------------
+#
+# Seeded defects the *static* analyzer (repro.check.static) must prove
+# from the op streams alone.  Each is arranged so a dynamic run dodges
+# or survives the defect — the point is that ahead-of-run analysis
+# catches what one interleaving may not.
+
+class StaticDeadlockKernel(TeamParallelKernel):
+    """Three locks acquired in a rotating order (a 3-cycle).
+
+    Thread ``t`` takes lock ``t % 3`` then lock ``(t + 1) % 3``, so the
+    team's acquires-while-holding edges form the cycle 0->1->2->0.  The
+    threads are staggered so far apart that no two critical regions ever
+    overlap in a real run — the deadlock is latent, provable only from
+    the streams (finding ``static-lock-order-cycle``).
+    """
+
+    name = "static-deadlock"
+
+    _STAGGER_INSTR = 40_000
+
+    def __init__(self, iterations: int = 2) -> None:
+        self._iterations = iterations
+        space = AddressSpace()
+        self.shared_addr = space.alloc(LINE)
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        first = thread_id % 3
+        second = (thread_id + 1) % 3
+        yield Compute(self._STAGGER_INSTR * thread_id + 10)
+        yield Lock(first)
+        yield Compute(10)
+        yield Lock(second)
+        yield Store(self.shared_addr)
+        yield Unlock(second)
+        yield Unlock(first)
+        yield BarrierWait(_BARRIER)
+
+
+class BarrierMismatchKernel(TeamParallelKernel):
+    """Thread 0 arrives at one more barrier than the rest of the team.
+
+    With two or more threads the team can never complete barrier 1 —
+    a guaranteed hang the static barrier pass proves as
+    ``static-barrier-count-mismatch`` before any cycle simulates.
+    """
+
+    name = "static-barrier-mismatch"
+
+    def __init__(self, iterations: int = 2) -> None:
+        self._iterations = iterations
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        yield Compute(100)
+        yield BarrierWait(_BARRIER)
+        if thread_id == 0:
+            yield BarrierWait(_BARRIER + 1)  # nobody else ever arrives
+
+
+class CounterInCsKernel(TeamParallelKernel):
+    """Reads the cycle counter while holding the critical-section lock.
+
+    Runs fine — but the measurement folds instrumentation overhead into
+    T_CS itself (Section 4.2.1 brackets critical sections from the
+    outside), so the static lint flags it as ``static-counter-in-cs``.
+    """
+
+    name = "static-counter-in-cs"
+
+    def __init__(self, iterations: int = 2) -> None:
+        self._iterations = iterations
+        space = AddressSpace()
+        self.shared_addr = space.alloc(LINE)
+
+    @property
+    def total_iterations(self) -> int:
+        return self._iterations
+
+    def team_iteration(self, iteration: int, thread_id: int,
+                       num_threads: int) -> Iterator[Op]:
+        yield Compute(200)
+        yield Lock(_CS_LOCK)
+        _ = yield ReadCounter(CounterKind.CYCLES)  # the seeded defect
+        yield Compute(50)
+        yield Store(self.shared_addr)
+        yield Unlock(_CS_LOCK)
+        yield BarrierWait(_BARRIER)
+
+
+def build_static_deadlock(scale: float = 1.0) -> Application:
+    """The latent-lock-cycle positive control."""
+    return Application.single(StaticDeadlockKernel())
+
+
+def build_barrier_mismatch(scale: float = 1.0) -> Application:
+    """The barrier-count-mismatch positive control."""
+    return Application.single(BarrierMismatchKernel())
+
+
+def build_counter_in_cs(scale: float = 1.0) -> Application:
+    """The counter-read-in-critical-section positive control."""
+    return Application.single(CounterInCsKernel())
+
+
+def static_fixtures() -> dict[str, Callable[[float], Application]]:
+    """Fixture name -> builder, for static-analyzer name resolution."""
+    return {
+        "static-deadlock": build_static_deadlock,
+        "static-barrier-mismatch": build_barrier_mismatch,
+        "static-counter-in-cs": build_counter_in_cs,
     }
 
 

@@ -79,3 +79,22 @@ def test_instruction_count_empty():
 
 def test_counter_kinds_are_distinct():
     assert len({k.value for k in CounterKind}) == len(list(CounterKind))
+
+
+def test_validate_rejects_negative_branch_pc():
+    with pytest.raises(ProgramError, match="negative pc -5"):
+        validate_program([Compute(1), Branch(-5, True)])
+
+
+def test_validate_accepts_zero_branch_pc():
+    ops = [Branch(0, False)]
+    assert validate_program(ops) == ops
+
+
+def test_validate_mismatched_unlock_names_held_locks():
+    with pytest.raises(ProgramError) as excinfo:
+        validate_program([Lock(3), Lock(7), Unlock(3)])
+    message = str(excinfo.value)
+    assert "releases lock 3" in message
+    assert "innermost held lock is 7" in message
+    assert "[3, 7]" in message
