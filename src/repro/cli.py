@@ -17,6 +17,8 @@ Usage (after ``pip install -e .``)::
     python -m repro check --all --static-only    # static-verify the roster
     python -m repro trace PageMine --out tr/     # record + export a trace
     python -m repro run EP --trace tr/           # same, via the run command
+    python -m repro serve --port 8080            # HTTP experiment server
+    python -m repro loadgen PageMine --rps 50    # open-loop load + report
 
 Every command accepts ``--scale`` (input-set scaling) and the machine
 knobs ``--cores`` and ``--bandwidth``.  ``check`` exits 0 when the
@@ -417,6 +419,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        queue_depth=args.queue_depth, retry_after=args.retry_after,
+        workers=args.workers, max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        request_timeout=args.request_timeout,
+        jobs=args.jobs, job_timeout=args.timeout,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        preflight=args.preflight, manifest_path=args.manifest)
+
+    def announce(line: str, flush: bool = True) -> None:
+        print(line, file=sys.stderr, flush=flush)
+
+    server = asyncio.run(run_server(config, announce=announce))
+    print(f"repro serve: drained; {server.manifest.summary()}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import run_loadgen_blocking
+    from repro.serve.loadgen import format_report_json
+
+    if args.synthetic:
+        payload: dict = {"synthetic": {
+            "cs_fraction": args.cs_fraction, "bus_lines": args.bus_lines,
+            "iterations": args.iterations}}
+    else:
+        if not args.workload:
+            raise ReproError("give a workload name or --synthetic")
+        payload = {"workload": args.workload, "scale": args.scale}
+    payload["policy"] = args.policy
+    if args.policy == "static" and args.threads is not None:
+        payload["threads"] = args.threads
+
+    report = run_loadgen_blocking(
+        args.host, args.port, payload, rps=args.rps,
+        duration=args.duration, endpoint=args.endpoint,
+        timeout=args.request_timeout)
+    if args.json:
+        print(format_report_json(report))
+    else:
+        print(report.format())
+    if report.errors or report.error_5xx:
+        return 1
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
     import inspect
@@ -655,6 +710,93 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("name", choices=sorted(_FIGURES))
     add_job_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve simulations, sweeps, and FDT decisions over HTTP "
+             "(request coalescing, admission control, /metrics)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default 8080)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         metavar="N",
+                         help="admission-control queue bound; overload "
+                              "beyond it is shed with 429 (default 64)")
+    p_serve.add_argument("--retry-after", type=float, default=1.0,
+                         metavar="SEC",
+                         help="Retry-After advertised on shed responses "
+                              "(default 1.0)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="concurrent simulation batches (default 2)")
+    p_serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                         help="cache misses folded into one job "
+                              "submission (default 8)")
+    p_serve.add_argument("--batch-window", type=float, default=0.0,
+                         metavar="SEC",
+                         help="wait this long for more misses before "
+                              "dispatching a batch (default 0)")
+    p_serve.add_argument("--request-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-batch wall-clock bound; requests "
+                              "over it answer 504 (default: none)")
+    p_serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes per batch (default 1: "
+                              "simulate in the worker thread)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-job timeout inside the process pool "
+                              "(--jobs > 1 only)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without the on-disk result cache")
+    p_serve.add_argument("--manifest", default=None, metavar="FILE",
+                         help="flush the run manifest here on drain")
+    p_serve.add_argument("--preflight", action="store_true",
+                         help="statically verify workloads before "
+                              "dispatch (422 on provable faults)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive open-loop load at a target RPS against a running "
+             "server and report latency/hit-rate/shed-rate")
+    p_loadgen.add_argument("workload", nargs="?", default=None,
+                           help="Table 2 workload name (or --synthetic)")
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=8080)
+    p_loadgen.add_argument("--endpoint", default="/v1/run",
+                           choices=("/v1/run", "/v1/fdt"),
+                           help="endpoint to drive (default /v1/run)")
+    p_loadgen.add_argument("--rps", type=float, default=20.0,
+                           help="target open-loop request rate "
+                                "(default 20)")
+    p_loadgen.add_argument("--duration", type=float, default=2.0,
+                           metavar="SEC",
+                           help="generation window (default 2.0)")
+    p_loadgen.add_argument("--request-timeout", type=float, default=60.0,
+                           metavar="SEC",
+                           help="client-side per-request timeout "
+                                "(default 60)")
+    p_loadgen.add_argument("--scale", type=float, default=0.5,
+                           help="input-set scale factor (default 0.5)")
+    p_loadgen.add_argument("--policy",
+                           choices=("static", "fdt", "sat", "bat"),
+                           default="static")
+    p_loadgen.add_argument("--threads", type=int, default=None,
+                           help="thread count for --policy static")
+    p_loadgen.add_argument("--synthetic", action="store_true",
+                           help="drive a synthetic kernel instead of a "
+                                "registry workload")
+    p_loadgen.add_argument("--cs-fraction", type=float, default=0.0)
+    p_loadgen.add_argument("--bus-lines", type=int, default=0)
+    p_loadgen.add_argument("--iterations", type=int, default=64)
+    p_loadgen.add_argument("--json", action="store_true",
+                           help="print the machine-readable report")
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_batch = sub.add_parser(
         "batch",

@@ -48,3 +48,25 @@ class JobError(ReproError):
     Raised by :mod:`repro.jobs` for invalid job specs and for jobs that
     failed (or timed out) in every execution attempt.
     """
+
+
+class ServeError(ReproError):
+    """The experiment server (:mod:`repro.serve`) hit a fatal condition."""
+
+
+class ServeRequestError(ServeError):
+    """A serving request could not be parsed or validated (HTTP 400)."""
+
+
+class ServeClientError(ServeError):
+    """A serve client call failed (connection error or non-2xx response).
+
+    Carries the HTTP status code (``0`` for transport failures) so
+    callers can distinguish shed (429) and timeout (504) responses.
+    """
+
+    def __init__(self, message: str, status: int = 0,
+                 body: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body if body is not None else {}

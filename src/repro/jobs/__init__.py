@@ -19,7 +19,7 @@ Typical use::
     print(runner.manifest.summary())
 """
 
-from repro.jobs.api import JobRunner
+from repro.jobs.api import JobResolution, JobRunner
 from repro.jobs.cache import ResultCache, default_cache_dir
 from repro.jobs.executor import JobOutcome, execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
@@ -41,6 +41,7 @@ from repro.jobs.spec import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "JobResolution",
     "JobRunner",
     "JobSpec",
     "PolicySpec",

@@ -18,16 +18,55 @@ is a structural property, not an accident of which path ran.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import JobError
 from repro.fdt.runner import AppRunResult
 from repro.jobs.cache import ResultCache
-from repro.jobs.executor import execute_jobs
+from repro.jobs.executor import STATUS_TIMEOUT, execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
 from repro.jobs.preflight import PreflightVerdict, preflight_key, run_preflight
 from repro.jobs.results import app_result_from_dict
 from repro.jobs.spec import JobSpec
+
+#: Resolution statuses (manifest statuses plus ``preflight-failed``).
+RESOLVED_HIT = "hit"
+RESOLVED_COMPUTED = "computed"
+RESOLVED_TIMEOUT = STATUS_TIMEOUT
+RESOLVED_FAILED = "failed"
+RESOLVED_PREFLIGHT = "preflight-failed"
+
+
+@dataclass(frozen=True, slots=True)
+class JobResolution:
+    """Per-spec outcome of :meth:`JobRunner.resolve` (never raises).
+
+    ``result`` is the serialized result dict when the job succeeded
+    (status ``hit`` or ``computed``) and ``None`` otherwise.
+    """
+
+    key: str
+    #: ``hit`` | ``computed`` | ``timeout`` | ``failed`` |
+    #: ``preflight-failed``.
+    status: str
+    #: ``memo`` | ``cache`` | ``serial`` | ``pool`` | ``serial-fallback``
+    #: | ``static``.
+    backend: str
+    result: dict | None
+    error: str = ""
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    def app_result(self) -> AppRunResult:
+        """Deserialize the result (call only when :attr:`ok`)."""
+        if self.result is None:
+            raise JobError(f"job {self.key} has no result: {self.status}"
+                           + (f" ({self.error})" if self.error else ""))
+        return app_result_from_dict(self.result)
 
 
 class JobRunner:
@@ -80,6 +119,68 @@ class JobRunner:
                 the manifest still records every entry.
         """
         keys = [spec.key() for spec in specs]
+        misses = self._lookup(keys, specs)
+        if misses:
+            if self.preflight:
+                self._gate(misses)
+            outcomes = self._compute(misses)
+            self._raise_on_failure(misses, outcomes)
+        return [app_result_from_dict(self._memo[key]) for key in keys]
+
+    def resolve(self, specs: Sequence[JobSpec]) -> list[JobResolution]:
+        """Resolve every spec to a per-spec outcome, never raising.
+
+        The tolerant sibling of :meth:`run`, built for callers that
+        answer each spec independently (the serving pipeline): one
+        timed-out or preflight-rejected spec does not poison the rest of
+        the batch, and the caller sees *which* status each spec reached
+        instead of one aggregated :class:`~repro.errors.JobError`.
+        Manifest recording, memoization, and caching are identical to
+        :meth:`run`.
+        """
+        keys = [spec.key() for spec in specs]
+        misses = self._lookup(keys, specs)
+        by_key: dict[str, JobResolution] = {}
+        dispatch: list[tuple[str, JobSpec]] = []
+        for key, spec in misses:
+            if self.preflight:
+                verdict = self._preflight_verdict(spec)
+                if not verdict.ok:
+                    error = "; ".join(verdict.fatal)
+                    self._record(key, spec, status=RESOLVED_PREFLIGHT,
+                                 backend="static", error=error)
+                    by_key[key] = JobResolution(
+                        key=key, status=RESOLVED_PREFLIGHT, backend="static",
+                        result=None, error=error)
+                    continue
+            dispatch.append((key, spec))
+        if dispatch:
+            for key, outcome in self._compute(dispatch).items():
+                if outcome.ok:
+                    by_key[key] = JobResolution(
+                        key=key, status=RESOLVED_COMPUTED,
+                        backend=outcome.backend, result=outcome.result,
+                        wall_time=outcome.wall_time)
+                else:
+                    by_key[key] = JobResolution(
+                        key=key, status=outcome.status,
+                        backend=outcome.backend, result=None,
+                        error=outcome.error, wall_time=outcome.wall_time)
+        out = []
+        for key in keys:
+            resolution = by_key.get(key)
+            if resolution is None:  # memo or cache hit
+                resolution = JobResolution(
+                    key=key, status=RESOLVED_HIT, backend="cache",
+                    result=self._memo[key])
+            out.append(resolution)
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, keys: Sequence[str],
+                specs: Sequence[JobSpec]) -> list[tuple[str, JobSpec]]:
+        """Memo/cache phase: record hits, return deduplicated misses."""
         misses: list[tuple[str, JobSpec]] = []
         seen: set[str] = set()
         for key, spec in zip(keys, specs):
@@ -95,13 +196,7 @@ class JobRunner:
             else:
                 seen.add(key)
                 misses.append((key, spec))
-        if misses:
-            if self.preflight:
-                self._gate(misses)
-            self._compute(misses)
-        return [app_result_from_dict(self._memo[key]) for key in keys]
-
-    # -- internals ---------------------------------------------------------
+        return misses
 
     def _gate(self, misses: list[tuple[str, JobSpec]]) -> None:
         """Refuse to dispatch specs the static analyzer proves broken.
@@ -161,13 +256,20 @@ class JobRunner:
             return None
         return data
 
-    def _compute(self, misses: list[tuple[str, JobSpec]]) -> None:
+    def _compute(self, misses: list[tuple[str, JobSpec]]) -> dict:
+        """Execute misses; memoize, cache, and record each outcome.
+
+        Returns the :class:`~repro.jobs.executor.JobOutcome` per key so
+        callers choose their own failure policy (:meth:`run` raises,
+        :meth:`resolve` reports per spec).
+        """
         outcomes = execute_jobs([spec for _, spec in misses],
                                 jobs=self.jobs, timeout=self.timeout,
                                 retries=self.retries,
                                 trace_dir=self.trace_dir)
-        failures: list[str] = []
+        by_key = {}
         for (key, spec), outcome in zip(misses, outcomes):
+            by_key[key] = outcome
             if outcome.ok and outcome.result is not None:
                 self._memo[key] = outcome.result
                 if self.cache is not None:
@@ -181,10 +283,27 @@ class JobRunner:
                              backend=outcome.backend,
                              wall_time=outcome.wall_time,
                              error=outcome.error)
+        return by_key
+
+    def _raise_on_failure(self, misses: list[tuple[str, JobSpec]],
+                          outcomes: dict) -> None:
+        """Aggregate failed outcomes into one JobError, timeouts named."""
+        failures: list[str] = []
+        timeouts = 0
+        for key, spec in misses:
+            outcome = outcomes[key]
+            if outcome.ok and outcome.result is not None:
+                continue
+            if outcome.status == STATUS_TIMEOUT:
+                timeouts += 1
+                failures.append(f"{spec.label}: timed out ({outcome.error})")
+            else:
                 failures.append(f"{spec.label}: {outcome.error}")
         if failures:
-            raise JobError(
-                f"{len(failures)} job(s) failed: " + "; ".join(failures))
+            detail = f"{len(failures)} job(s) failed"
+            if timeouts:
+                detail += f" ({timeouts} timed out)"
+            raise JobError(detail + ": " + "; ".join(failures))
 
     def _record(self, key: str, spec: JobSpec, status: str, backend: str,
                 wall_time: float = 0.0, error: str = "",

@@ -18,6 +18,14 @@ garbage byte, a schema/key mismatch, or an unreadable entry makes
 the bad file) and the caller recomputes.  Writes are atomic
 (temp file + ``os.replace``) so a crashed writer can leave at worst a
 stray temp file, never a half-written entry under the final name.
+
+Two lookup flavors exist because two callers with different contracts
+share the store.  :meth:`ResultCache.get` is the *batch* path: it may
+repair the store (deleting corrupt entries) and therefore takes the
+write lock when it does.  :meth:`ResultCache.get_or_none` is the
+*serving* hit path: strictly read-only — no lock, no deletion, no
+state mutation of any kind — so concurrent readers (the server's event
+loop vs. its worker threads) never contend on a pure lookup.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 from repro.jobs.spec import SCHEMA_VERSION
@@ -50,6 +59,9 @@ class ResultCache:
 
     def __init__(self, root: str | Path | None = None) -> None:
         self._root = Path(root) if root is not None else default_cache_dir()
+        # Serializes mutations (put, corrupt-entry deletion) between
+        # threads sharing one cache object; pure lookups never take it.
+        self._write_lock = threading.Lock()
 
     @property
     def root(self) -> Path:
@@ -60,42 +72,64 @@ class ResultCache:
         return self._root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> dict | None:
-        """Return the stored result dict, or ``None`` on miss/corruption."""
-        path = self.path_for(key)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self._discard(path)
-            return None
-        if (not isinstance(payload, dict)
-                or payload.get("schema") != SCHEMA_VERSION
-                or payload.get("key") != key
-                or not isinstance(payload.get("result"), dict)):
-            self._discard(path)
-            return None
-        return payload["result"]
+        """Return the stored result dict, or ``None`` on miss/corruption.
+
+        This is the batch path: a corrupt entry is deleted (under the
+        write lock) so the recomputed result can replace it cleanly.
+        """
+        result = self._read(key)
+        if result is None:
+            path = self.path_for(key)
+            if path.exists():
+                with self._write_lock:
+                    self._discard(path)
+        return result
+
+    def get_or_none(self, key: str) -> dict | None:
+        """Strictly read-only lookup: the serving fast path.
+
+        Behaves like :meth:`get` for well-formed entries but never
+        mutates anything — no write lock, no corrupt-entry deletion, no
+        manifest or bookkeeping side effects.  A corrupt entry is simply
+        reported as a miss and left for the next batch-path caller (or
+        an overwriting :meth:`put`) to repair.
+        """
+        return self._read(key)
 
     def put(self, key: str, spec: dict, result: dict) -> None:
         """Atomically store a result (spec kept for self-description)."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": SCHEMA_VERSION,
             "key": key,
             "spec": spec,
             "result": result,
         }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+        with self._write_lock:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                self._discard(Path(tmp_name))
+                raise
+
+    def _read(self, key: str) -> dict | None:
+        """Shared read: ``None`` on miss or on any malformed entry."""
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            self._discard(Path(tmp_name))
-            raise
+            payload = json.loads(
+                self.path_for(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != SCHEMA_VERSION
+                or payload.get("key") != key
+                or not isinstance(payload.get("result"), dict)):
+            return None
+        return payload["result"]
 
     def __len__(self) -> int:
         """Number of entries currently stored (current schema only)."""

@@ -18,6 +18,7 @@ from repro.jobs.spec import SCHEMA_VERSION
 #: Entry status values.
 STATUS_HIT = "hit"
 STATUS_COMPUTED = "computed"
+STATUS_TIMEOUT = "timeout"
 _SUCCESS_STATUSES = (STATUS_HIT, STATUS_COMPUTED)
 
 
@@ -62,17 +63,27 @@ class RunManifest:
 
     @property
     def counts(self) -> dict:
-        """Totals by outcome (``failed`` includes timeouts)."""
+        """Totals by outcome.
+
+        ``timeouts`` is its own bucket — a job that produced no result
+        in time is operationally different from one that crashed (the
+        server maps it to 504, not 500) — and ``failed`` counts only
+        the genuinely failed rest (crashes, preflight rejections).
+        """
         hits = sum(1 for e in self.entries if e.status == STATUS_HIT)
         computed = sum(1 for e in self.entries
                        if e.status == STATUS_COMPUTED)
+        timeouts = sum(1 for e in self.entries
+                       if e.status == STATUS_TIMEOUT)
         failed = sum(1 for e in self.entries
-                     if e.status not in _SUCCESS_STATUSES)
+                     if e.status not in _SUCCESS_STATUSES
+                     and e.status != STATUS_TIMEOUT)
         return {
             "total": len(self.entries),
             "hits": hits,
             "computed": computed,
             "failed": failed,
+            "timeouts": timeouts,
         }
 
     @property
@@ -101,6 +112,8 @@ class RunManifest:
         c = self.counts
         line = (f"{c['total']} job(s): {c['hits']} cache hit(s), "
                 f"{c['computed']} computed")
+        if c["timeouts"]:
+            line += f", {c['timeouts']} TIMED OUT"
         if c["failed"]:
             line += f", {c['failed']} FAILED"
         return f"{line}; {self.wall_time:.2f}s simulated work"

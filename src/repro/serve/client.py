@@ -1,0 +1,181 @@
+"""Clients for the experiment server: blocking and asyncio flavors.
+
+:class:`ServeClient` is the ergonomic blocking client (stdlib
+``http.client``, keep-alive connection reuse) for scripts and examples.
+:class:`AsyncServeClient` speaks the same wire dialect over asyncio
+streams (one connection per request, so thousands of concurrent
+open-loop requests never serialize on a shared socket) and is what the
+load generator drives.
+
+Both raise :class:`~repro.errors.ServeClientError` on non-2xx
+responses, carrying the HTTP status and decoded body so callers can
+react to shed (429) and timeout (504) distinctly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any
+
+from repro.errors import ServeClientError
+from repro.serve.http import read_response, request_bytes
+
+
+def _decode_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {"raw": body.decode("utf-8", "replace")}
+    return payload if isinstance(payload, dict) else {"raw": payload}
+
+
+def _check(status: int, payload: dict) -> dict:
+    if 200 <= status < 300:
+        return payload
+    raise ServeClientError(
+        f"server answered {status}: {payload.get('error', payload)}",
+        status=status, body=payload)
+
+
+class ServeClient:
+    """Blocking client over one keep-alive connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, dict]:
+        """One request; returns ``(status, decoded body)``, never raises
+        on HTTP errors (only on transport failures)."""
+        body = b"" if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            raise ServeClientError(
+                f"request to {self.host}:{self.port} failed: {exc}")
+        return response.status, _decode_body(raw)
+
+    # -- endpoints ----------------------------------------------------
+
+    def run(self, workload: str | None = None, **fields: Any) -> dict:
+        """``POST /v1/run``; see :mod:`repro.serve.schema` for fields."""
+        return _check(*self.request(
+            "POST", "/v1/run", _body(workload, fields)))
+
+    def sweep(self, workload: str | None = None, **fields: Any) -> dict:
+        return _check(*self.request(
+            "POST", "/v1/sweep", _body(workload, fields)))
+
+    def fdt(self, workload: str | None = None, **fields: Any) -> dict:
+        return _check(*self.request(
+            "POST", "/v1/fdt", _body(workload, fields)))
+
+    def result(self, key: str) -> dict:
+        return _check(*self.request("GET", f"/v1/result/{key}"))
+
+    def healthz(self) -> dict:
+        return _check(*self.request("GET", "/healthz"))
+
+    def metrics_text(self) -> str:
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            raise ServeClientError(f"metrics request failed: {exc}")
+        if response.status != 200:
+            raise ServeClientError(f"metrics answered {response.status}",
+                                   status=response.status)
+        return raw.decode("utf-8")
+
+
+def _body(workload: str | None, fields: dict) -> dict:
+    payload = dict(fields)
+    if workload is not None:
+        payload["workload"] = workload
+    return payload
+
+
+class AsyncServeClient:
+    """Asyncio client: one short-lived connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def request(self, method: str, path: str,
+                      payload: dict | None = None) -> tuple[int, dict]:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServeClientError(
+                f"cannot connect to {self.host}:{self.port}: {exc}")
+        try:
+            writer.write(request_bytes(
+                method, path, host=f"{self.host}:{self.port}", body=body,
+                keep_alive=False))
+            await writer.drain()
+            response = await asyncio.wait_for(read_response(reader),
+                                              timeout=self.timeout)
+        except (OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            raise ServeClientError(f"request {method} {path} failed: {exc}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return response.status, _decode_body(response.body)
+
+    async def run(self, workload: str | None = None,
+                  **fields: Any) -> dict:
+        return _check(*await self.request(
+            "POST", "/v1/run", _body(workload, fields)))
+
+    async def fdt(self, workload: str | None = None,
+                  **fields: Any) -> dict:
+        return _check(*await self.request(
+            "POST", "/v1/fdt", _body(workload, fields)))
+
+    async def healthz(self) -> dict:
+        return _check(*await self.request("GET", "/healthz"))

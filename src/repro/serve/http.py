@@ -1,0 +1,206 @@
+"""Minimal HTTP/1.1 over asyncio streams — just enough for serving.
+
+The server speaks a deliberately small dialect (stdlib only, no new
+dependencies): request line + headers + ``Content-Length`` bodies,
+keep-alive by default, ``Connection: close`` honored, no chunked
+encoding, no multipart.  Both sides of the conversation live here —
+:func:`read_request`/:func:`response_bytes` for the server,
+:func:`request_bytes`/:func:`read_response` for the async client and
+the load generator — so the wire format is defined exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import unquote, urlsplit
+
+from repro.errors import ServeError
+
+#: Reason phrases for every status the server emits.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on header block and body sizes (1 MiB is generous for
+#: JSON experiment specs; anything larger is a client bug).
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+
+class HttpProtocolError(ServeError):
+    """The peer sent bytes this dialect cannot parse."""
+
+
+@dataclass(slots=True)
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    target: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The decoded path component of the target."""
+        return unquote(urlsplit(self.target).path)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (400-level on failure)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpProtocolError(f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpProtocolError("request body must be a JSON object")
+        return payload
+
+
+@dataclass(slots=True)
+class HttpResponse:
+    """One parsed response (client side)."""
+
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        payload = json.loads(self.body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise HttpProtocolError("response body must be a JSON object")
+        return payload
+
+
+async def _read_head(reader: asyncio.StreamReader) -> list[str] | None:
+    """Read request/status line + headers; ``None`` on clean EOF."""
+    lines: list[str] = []
+    total = 0
+    while True:
+        raw = await reader.readline()
+        if not raw:
+            if lines:
+                raise HttpProtocolError("connection closed mid-header")
+            return None
+        total += len(raw)
+        if total > MAX_HEADER_BYTES:
+            raise HttpProtocolError("header block too large")
+        line = raw.rstrip(b"\r\n")
+        if not line:
+            if not lines:
+                continue  # tolerate leading blank lines (RFC 9112 2.2)
+            return lines
+        try:
+            lines.append(line.decode("latin-1"))
+        except UnicodeDecodeError:
+            raise HttpProtocolError("undecodable header bytes")
+
+
+def _parse_headers(lines: list[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def _read_body(reader: asyncio.StreamReader,
+                     headers: dict[str, str]) -> bytes:
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpProtocolError(f"bad Content-Length {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpProtocolError(f"unacceptable Content-Length {length}")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise HttpProtocolError("connection closed mid-body")
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` when the peer closed cleanly."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    parts = head[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(f"malformed request line {head[0]!r}")
+    headers = _parse_headers(head[1:])
+    body = await _read_body(reader, headers)
+    return HttpRequest(method=parts[0].upper(), target=parts[1],
+                       headers=headers, body=body)
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response (client side)."""
+    head = await _read_head(reader)
+    if head is None:
+        raise HttpProtocolError("connection closed before response")
+    parts = head[0].split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpProtocolError(f"malformed status line {head[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpProtocolError(f"malformed status code {parts[1]!r}")
+    headers = _parse_headers(head[1:])
+    body = await _read_body(reader, headers)
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def response_bytes(status: int, body: bytes,
+                   content_type: str = "application/json",
+                   extra_headers: dict[str, str] | None = None,
+                   keep_alive: bool = True) -> bytes:
+    """Serialize one response."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def request_bytes(method: str, target: str, host: str,
+                  body: bytes = b"",
+                  content_type: str = "application/json",
+                  keep_alive: bool = True) -> bytes:
+    """Serialize one request (client side)."""
+    lines = [f"{method} {target} HTTP/1.1",
+             f"Host: {host}",
+             f"Content-Length: {len(body)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(payload: dict) -> bytes:
+    """Canonical JSON response body (compact, sorted, UTF-8)."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")

@@ -1,0 +1,246 @@
+"""The serving request pipeline: cache → coalesce → admit → batch → run.
+
+Every ``/v1`` simulation request resolves through one funnel:
+
+1. **Cache fast path** — the spec's content key is looked up with the
+   read-only :meth:`~repro.jobs.ResultCache.get_or_none`, so a repeated
+   request is answered without touching the worker pool, the write
+   lock, or manifest state.
+2. **Single-flight coalescing** — identical in-flight requests (same
+   sha256 key) share one computation: the first becomes the *leader*,
+   the rest await the leader's future and are answered ``coalesced``.
+3. **Admission control** — leaders enter a bounded queue; when it is
+   full the request is shed immediately (HTTP 429 + ``Retry-After``)
+   instead of queuing without bound.
+4. **Batched execution** — worker tasks drain the queue, fold up to
+   ``max_batch`` misses into one :meth:`~repro.jobs.JobRunner.resolve`
+   call, and run it on a thread pool with a per-batch timeout.  The
+   jobs backend (memoization, on-disk cache writes, process pool,
+   retries, preflight gating) is reused as-is.
+
+All pipeline state (`_inflight`, the queue, metrics) is touched only on
+the event-loop thread; only the ``JobRunner`` call itself runs on an
+executor thread.  A timed-out batch is abandoned, not interrupted — the
+simulation keeps running in its thread and still warms the cache, so a
+retried request usually hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.jobs import (
+    JobResolution,
+    JobRunner,
+    JobSpec,
+    ResultCache,
+    RunManifest,
+)
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import ServeMetrics
+
+#: Resolution statuses added by the pipeline on top of the jobs ones.
+STATUS_HIT = "hit"
+STATUS_COMPUTED = "computed"
+STATUS_COALESCED = "coalesced"
+STATUS_SHED = "shed"
+STATUS_TIMEOUT = "timeout"
+STATUS_FAILED = "failed"
+STATUS_PREFLIGHT = "preflight-failed"
+
+RunnerFactory = Callable[[], JobRunner]
+
+
+@dataclass(frozen=True, slots=True)
+class Resolution:
+    """What the pipeline decided for one request."""
+
+    key: str
+    #: ``hit`` | ``computed`` | ``coalesced`` | ``shed`` | ``timeout``
+    #: | ``failed`` | ``preflight-failed``.
+    status: str
+    result: dict | None
+    error: str = ""
+    #: Advertised back-off for shed requests (``Retry-After`` seconds).
+    retry_after: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One admitted leader waiting for a worker."""
+
+    key: str
+    spec: JobSpec
+    future: "asyncio.Future[Resolution]"
+
+
+class RequestPipeline:
+    """The funnel described in the module docstring.
+
+    Args:
+        config: serving knobs (queue depth, batching, timeouts).
+        metrics: instrument panel to update.
+        cache: read path for the cache fast path; ``None`` disables it
+            (every request goes through the workers).
+        runner_factory: builds the :class:`~repro.jobs.JobRunner` a
+            worker uses for one batch.  Injectable so tests can count
+            or stub simulator invocations; the default builds runners
+            that share ``cache`` and this pipeline's manifest.
+    """
+
+    def __init__(self, config: ServeConfig, metrics: ServeMetrics,
+                 cache: ResultCache | None,
+                 runner_factory: RunnerFactory | None = None) -> None:
+        self.config = config
+        self.metrics = metrics
+        self.cache = cache
+        self.manifest = RunManifest()
+        self._runner_factory = runner_factory or self._default_runner
+        self._inflight: dict[str, asyncio.Future[Resolution]] = {}
+        self._queue: asyncio.Queue[_Entry] = asyncio.Queue(
+            maxsize=config.queue_depth)
+        self._workers: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _default_runner(self) -> JobRunner:
+        return JobRunner(cache=self.cache, jobs=self.config.jobs,
+                         timeout=self.config.job_timeout,
+                         retries=self.config.retries,
+                         manifest=self.manifest,
+                         preflight=self.config.preflight)
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks and the executor behind them."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve")
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)]
+
+    async def drain(self) -> None:
+        """Finish every admitted request, then stop the workers."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight.values()),
+                                 return_exceptions=True)
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- the funnel ---------------------------------------------------
+
+    async def resolve(self, spec: JobSpec) -> Resolution:
+        """Resolve one request through the cache/coalesce/admit funnel."""
+        key = spec.key()
+
+        # 1. Read-only cache fast path: no lock, no queue, no manifest.
+        if self.cache is not None:
+            cached = self.cache.get_or_none(key)
+            if cached is not None:
+                self.metrics.hits.inc()
+                return Resolution(key=key, status=STATUS_HIT, result=cached)
+
+        # 2. Single-flight: identical in-flight work is joined, never
+        #    duplicated.  (No awaits between the lookup and the queue
+        #    put below, so leader registration is race-free on the
+        #    event loop.)
+        leader = self._inflight.get(key)
+        if leader is not None:
+            self.metrics.coalesced.inc()
+            resolution = await asyncio.shield(leader)
+            if resolution.status in (STATUS_COMPUTED, STATUS_HIT):
+                return replace(resolution, status=STATUS_COALESCED)
+            return resolution
+
+        # 3. Admission control: a full queue sheds instead of queuing.
+        future: asyncio.Future[Resolution] = (
+            asyncio.get_running_loop().create_future())
+        entry = _Entry(key=key, spec=spec, future=future)
+        try:
+            self._queue.put_nowait(entry)
+        except asyncio.QueueFull:
+            self.metrics.shed.inc()
+            resolution = Resolution(
+                key=key, status=STATUS_SHED, result=None,
+                error="queue full", retry_after=self.config.retry_after)
+            future.set_result(resolution)  # nobody else can be waiting
+            return resolution
+
+        # 4. Admitted: this request leads the computation for its key.
+        self.metrics.misses.inc()
+        self._inflight[key] = future
+        return await asyncio.shield(future)
+
+    # -- workers ------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            if self.config.batch_window > 0:
+                await asyncio.sleep(self.config.batch_window)
+            while len(batch) < self.config.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                await self._run_batch(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _run_batch(self, batch: list[_Entry]) -> None:
+        """One JobRunner submission for up to ``max_batch`` misses."""
+        runner = self._runner_factory()
+        specs = [entry.spec for entry in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            resolutions = await asyncio.wait_for(
+                loop.run_in_executor(self._executor, runner.resolve, specs),
+                timeout=self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self._finish(batch, [
+                Resolution(key=entry.key, status=STATUS_TIMEOUT, result=None,
+                           error=f"no result within "
+                                 f"{self.config.request_timeout}s")
+                for entry in batch])
+            return
+        except Exception as exc:  # runner bug: fail the batch, not the server
+            self._finish(batch, [
+                Resolution(key=entry.key, status=STATUS_FAILED, result=None,
+                           error=f"{type(exc).__name__}: {exc}")
+                for entry in batch])
+            return
+        self._finish(batch, [self._from_job(r) for r in resolutions])
+
+    def _from_job(self, resolution: JobResolution) -> Resolution:
+        """Map a jobs-layer resolution into a pipeline resolution."""
+        status = {"hit": STATUS_HIT}.get(resolution.status,
+                                        resolution.status)
+        return Resolution(key=resolution.key, status=status,
+                          result=resolution.result, error=resolution.error)
+
+    def _finish(self, batch: list[_Entry],
+                resolutions: list[Resolution]) -> None:
+        for entry, resolution in zip(batch, resolutions):
+            if resolution.status == STATUS_TIMEOUT:
+                self.metrics.timeouts.inc()
+            elif resolution.result is None:
+                self.metrics.failures.inc()
+            self._inflight.pop(entry.key, None)
+            if not entry.future.done():
+                entry.future.set_result(resolution)

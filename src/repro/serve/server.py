@@ -1,0 +1,397 @@
+"""The asyncio experiment server: HTTP front end over the pipeline.
+
+Endpoints:
+
+========================  ==================================================
+``POST /v1/run``          one complete simulation (cache-served when warm)
+``POST /v1/sweep``        static thread sweep; points resolved concurrently
+``POST /v1/fdt``          FDT/SAT/BAT decision + the Eq. 3/5/7 estimates
+``GET  /v1/result/<key>`` content-addressed cache lookup (read-only)
+``GET  /healthz``         liveness and drain state
+``GET  /metrics``         Prometheus text exposition
+========================  ==================================================
+
+Status mapping: ``200`` served (hit/computed/coalesced), ``400``
+malformed request, ``404`` unknown route or missing key, ``422``
+preflight-rejected workload, ``429`` shed by admission control (with
+``Retry-After``), ``500`` simulation failure, ``503`` draining, ``504``
+simulation timeout (body carries the spec key so the client can poll
+``/v1/result/<key>`` once the abandoned computation lands).
+
+On SIGTERM (or SIGINT) the server drains gracefully: the listening
+socket closes (new connections are refused), requests already admitted
+run to completion, keep-alive connections asking for more work get
+``503``, and the accumulated run manifest is flushed to
+``ServeConfig.manifest_path``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from time import perf_counter
+
+from repro.errors import ServeRequestError
+from repro.jobs import JobSpec, PolicySpec, ResultCache, app_result_from_dict
+from repro.serve import schema
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HttpProtocolError,
+    HttpRequest,
+    json_body,
+    read_request,
+    response_bytes,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pipeline import (
+    STATUS_COALESCED,
+    STATUS_COMPUTED,
+    STATUS_HIT,
+    STATUS_PREFLIGHT,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+    RequestPipeline,
+    Resolution,
+    RunnerFactory,
+)
+
+_SERVED = (STATUS_HIT, STATUS_COMPUTED, STATUS_COALESCED)
+
+
+class _Reply(Exception):
+    """Internal short-circuit carrying a ready HTTP reply."""
+
+    def __init__(self, status: int, payload: dict,
+                 headers: dict[str, str] | None = None) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+
+
+class ExperimentServer:
+    """One serving instance: sockets, pipeline, metrics, drain logic."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 runner_factory: RunnerFactory | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self.cache = (None if self.config.no_cache
+                      else ResultCache(self.config.cache_dir))
+        self.pipeline = RequestPipeline(self.config, self.metrics,
+                                        self.cache,
+                                        runner_factory=runner_factory)
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._stopped = asyncio.Event()
+        #: Open connections -> busy flag (True while a request is being
+        #: answered).  Drain closes idle ones; busy ones finish their
+        #: response, notice the drain, and close themselves.
+        self._connections: dict[asyncio.StreamWriter, bool] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self.port = self.config.port
+
+    @property
+    def manifest(self):
+        return self.pipeline.manifest
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and spawn the pipeline workers."""
+        await self.pipeline.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port)
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT (call from the loop's thread)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain()))
+
+    async def serve_forever(self) -> None:
+        """Block until a drain completes."""
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush the manifest."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.pipeline.drain()
+        # Idle keep-alive connections are parked in read_request with no
+        # response owed; close them so their handlers see EOF.  Busy
+        # handlers finish writing, re-check the drain flag, and exit.
+        for writer, busy in list(self._connections.items()):
+            if not busy:
+                writer.close()
+        while self._conn_tasks:
+            await asyncio.gather(*list(self._conn_tasks),
+                                 return_exceptions=True)
+        if self.config.manifest_path:
+            self.manifest.write(self.config.manifest_path)
+        self._stopped.set()
+
+    # -- connection handling ------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._connections[writer] = False
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpProtocolError as exc:
+                    writer.write(response_bytes(
+                        400, json_body({"error": str(exc)}),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._connections[writer] = True
+                keep_alive = request.keep_alive and not self._draining
+                status, payload, headers, raw = await self._respond(request)
+                body = raw if raw is not None else json_body(payload)
+                content_type = ("text/plain; version=0.0.4"
+                                if raw is not None else "application/json")
+                writer.write(response_bytes(
+                    status, body, content_type=content_type,
+                    extra_headers=headers, keep_alive=keep_alive))
+                await writer.drain()
+                self._connections[writer] = False
+                if not keep_alive or self._draining:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away; nothing to answer
+        finally:
+            self._connections.pop(writer, None)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, request: HttpRequest
+                       ) -> tuple[int, dict, dict[str, str], bytes | None]:
+        """Route, execute, and meter one request."""
+        endpoint = self._endpoint_label(request.path)
+        self.metrics.requests.inc(endpoint)
+        self.metrics.in_flight.inc()
+        started = perf_counter()
+        raw: bytes | None = None
+        headers: dict[str, str] = {}
+        try:
+            status, payload, headers, raw = await self._dispatch(request)
+        except _Reply as reply:
+            status, payload, headers = (reply.status, reply.payload,
+                                        reply.headers)
+        except ServeRequestError as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # never let a handler kill the server
+            status, payload = 500, {
+                "error": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self.metrics.in_flight.dec()
+            self.metrics.latency.observe(perf_counter() - started)
+        self.metrics.responses.inc(str(status))
+        return status, payload, headers, raw
+
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        if path.startswith("/v1/result/"):
+            return "/v1/result"
+        return path
+
+    async def _dispatch(self, request: HttpRequest
+                        ) -> tuple[int, dict, dict[str, str], bytes | None]:
+        path, method = request.path, request.method
+        if path == "/healthz" and method == "GET":
+            return 200, self._health_payload(), {}, None
+        if path == "/metrics" and method == "GET":
+            return 200, {}, {}, self.metrics.render().encode("utf-8")
+        if path.startswith("/v1/result/") and method == "GET":
+            return self._handle_result(path)
+        if path in ("/v1/run", "/v1/sweep", "/v1/fdt"):
+            if method != "POST":
+                return 405, {"error": f"{path} takes POST"}, {}, None
+            if self._draining:
+                return 503, {"error": "server is draining"}, {}, None
+            try:
+                body = request.json()
+            except HttpProtocolError as exc:
+                return 400, {"error": str(exc)}, {}, None
+            handler = {"/v1/run": self._handle_run,
+                       "/v1/sweep": self._handle_sweep,
+                       "/v1/fdt": self._handle_fdt}[path]
+            return await handler(body)
+        return 404, {"error": f"no route {method} {path}"}, {}, None
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "in_flight": self.metrics.in_flight.value,
+            "queue_depth": self.config.queue_depth,
+        }
+
+    # -- endpoint handlers --------------------------------------------
+
+    def _handle_result(self, path: str
+                       ) -> tuple[int, dict, dict[str, str], bytes | None]:
+        key = path[len("/v1/result/"):]
+        if self.cache is None:
+            return 404, {"error": "server runs without a result cache"}, \
+                {}, None
+        cached = self.cache.get_or_none(key)
+        if cached is None:
+            return 404, {"error": "no cached result", "key": key}, {}, None
+        self.metrics.hits.inc()
+        return 200, {"key": key, "status": STATUS_HIT, "result": cached}, \
+            {}, None
+
+    async def _handle_run(self, body: dict
+                          ) -> tuple[int, dict, dict[str, str], bytes | None]:
+        spec = schema.parse_run_request(body)
+        resolution = await self.pipeline.resolve(spec)
+        payload = self._run_payload(spec, resolution)
+        return 200, payload, {}, None
+
+    async def _handle_fdt(self, body: dict
+                          ) -> tuple[int, dict, dict[str, str], bytes | None]:
+        spec = schema.parse_fdt_request(body)
+        resolution = await self.pipeline.resolve(spec)
+        self._raise_unserved(spec, resolution)
+        assert resolution.result is not None
+        kernels = []
+        for info in resolution.result["kernel_infos"]:
+            kernels.append({
+                "kernel": info["kernel_name"],
+                "threads": info["threads"],
+                "trained_iterations": info["trained_iterations"],
+                "training_cycles": info["training_cycles"],
+                "execution_cycles": info["execution_cycles"],
+                "estimates": info["estimates"],
+            })
+        payload = {
+            "key": resolution.key,
+            "status": resolution.status,
+            "workload": spec.workload.label,
+            "policy": spec.policy.label,
+            "chosen_threads": [k["threads"] for k in kernels],
+            "kernels": kernels,
+        }
+        return 200, payload, {}, None
+
+    async def _handle_sweep(self, body: dict
+                            ) -> tuple[int, dict, dict[str, str],
+                                       bytes | None]:
+        workload, counts, config = schema.parse_sweep_request(body)
+        specs = [JobSpec(workload=workload, policy=PolicySpec.static(t),
+                         config=config)
+                 for t in counts]
+        resolutions = await asyncio.gather(
+            *[self.pipeline.resolve(spec) for spec in specs])
+        points = []
+        for threads, spec, resolution in zip(counts, specs, resolutions):
+            self._raise_unserved(spec, resolution)
+            point = self._point_payload(resolution)
+            point.update(threads=threads, key=resolution.key,
+                         status=resolution.status)
+            points.append(point)
+        best = min(points, key=lambda p: (p["cycles"], p["threads"]))
+        payload = {
+            "workload": workload.label,
+            "points": points,
+            "best_threads": best["threads"],
+        }
+        return 200, payload, {}, None
+
+    # -- payload shaping ----------------------------------------------
+
+    def _raise_unserved(self, spec: JobSpec,
+                        resolution: Resolution) -> None:
+        """Map a non-served resolution to its HTTP reply."""
+        if resolution.status in _SERVED:
+            return
+        base = {"key": resolution.key, "status": resolution.status,
+                "error": resolution.error}
+        if resolution.status == STATUS_SHED:
+            raise _Reply(
+                429, dict(base, error="shed by admission control: "
+                          + resolution.error),
+                {"Retry-After": f"{self.config.retry_after:g}"})
+        if resolution.status == STATUS_TIMEOUT:
+            # The spec key is in the body: the computation was
+            # abandoned, not cancelled, so the client can poll
+            # /v1/result/<key> for the late-arriving result.
+            raise _Reply(504, dict(base, workload=spec.workload.label))
+        if resolution.status == STATUS_PREFLIGHT:
+            raise _Reply(422, base)
+        raise _Reply(500, base)
+
+    @staticmethod
+    def _point_payload(resolution: Resolution) -> dict:
+        """Headline metrics of a served resolution's result dict."""
+        assert resolution.result is not None
+        app = app_result_from_dict(resolution.result)
+        run = app.result
+        return {
+            "cycles": app.cycles,
+            "power": run.power,
+            "bus_utilization": run.bus_utilization,
+            "ipc": run.ipc,
+            "energy": run.energy,
+        }
+
+    def _run_payload(self, spec: JobSpec, resolution: Resolution) -> dict:
+        self._raise_unserved(spec, resolution)
+        assert resolution.result is not None
+        payload = self._point_payload(resolution)
+        app = app_result_from_dict(resolution.result)
+        payload.update(
+            key=resolution.key,
+            status=resolution.status,
+            workload=spec.workload.label,
+            policy=spec.policy.label,
+            threads=list(app.threads_used),
+            result=resolution.result,
+        )
+        return payload
+
+
+async def run_server(config: ServeConfig,
+                     runner_factory: RunnerFactory | None = None,
+                     ready: "asyncio.Event | None" = None,
+                     announce=print) -> ExperimentServer:
+    """Start a server, announce its address, and serve until drained."""
+    server = ExperimentServer(config, runner_factory=runner_factory)
+    await server.start()
+    try:
+        server.install_signal_handlers()
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass  # non-main thread or platform without signal support
+    if announce is not None:
+        announce(f"repro serve: listening on "
+                 f"http://{config.host}:{server.port}", flush=True)
+    if ready is not None:
+        ready.set()
+    await server.serve_forever()
+    return server

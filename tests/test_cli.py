@@ -200,7 +200,7 @@ def test_batch_cold_then_warm_manifest_counts(capsys, tmp_path):
     assert "static-1" in out and "fdt" in out
     cold = json.loads(cold_manifest.read_text())
     assert cold["counts"] == {"total": 3, "hits": 0, "computed": 3,
-                              "failed": 0}
+                              "failed": 0, "timeouts": 0}
 
     warm_manifest = tmp_path / "warm.json"
     code, out = run_cli(capsys, *argv, "--json",
@@ -208,7 +208,7 @@ def test_batch_cold_then_warm_manifest_counts(capsys, tmp_path):
     assert code == 0
     parsed = json.loads(out)
     assert parsed["counts"] == {"total": 3, "hits": 3, "computed": 0,
-                                "failed": 0}
+                                "failed": 0, "timeouts": 0}
     assert all(j["status"] == "hit" for j in parsed["jobs"])
     assert all(j["cycles"] > 0 for j in parsed["jobs"])
 
@@ -227,7 +227,8 @@ def test_batch_no_cache_always_computes(capsys, tmp_path):
                       "--no-cache", "--manifest", str(manifest))
     assert code == 0
     counts = json.loads(manifest.read_text())["counts"]
-    assert counts == {"total": 1, "hits": 0, "computed": 1, "failed": 0}
+    assert counts == {"total": 1, "hits": 0, "computed": 1,
+                      "failed": 0, "timeouts": 0}
 
 
 def test_check_static_only_detects_seeded_deadlock(capsys):

@@ -32,7 +32,7 @@ def test_examples_directory_complete():
     assert {"quickstart", "input_set_adaptation", "machine_adaptation",
             "custom_workload", "per_kernel_power",
             "extensions_and_inspection", "dynamic_scheduling",
-            "sanitize_workload"} <= names
+            "sanitize_workload", "serve_client"} <= names
 
 
 def test_quickstart_runs(capsys):
@@ -61,6 +61,14 @@ def test_sanitize_workload_runs(capsys):
     out = capsys.readouterr().out
     assert "locked histogram: clean=True" in out
     assert "the sanitizer caught the dropped lock" in out
+
+
+def test_serve_client_runs(capsys):
+    load_example("serve_client").main()
+    out = capsys.readouterr().out
+    assert "FDT decision for PageMine" in out
+    assert "served from cache, no simulation" in out
+    assert "repro_serve_cache_hits_total 1" in out
 
 
 @pytest.mark.parametrize("name", ["per_kernel_power", "machine_adaptation",

@@ -83,7 +83,8 @@ def test_cache_hits_match_direct_runs(tmp_path, ground_truth):
     for name in WORKLOADS:
         assert warm.run(specs_for(name, config)) == expected[name]
     assert warm.manifest.counts == {
-        "total": 8, "hits": 8, "computed": 0, "failed": 0}
+        "total": 8, "hits": 8, "computed": 0, "failed": 0,
+        "timeouts": 0}
 
 
 def test_sweep_via_jobs_matches_legacy_factory_sweep(ground_truth):
@@ -117,7 +118,8 @@ def test_corrupt_cache_entry_recomputes_only_that_job(tmp_path, ground_truth):
     warm = JobRunner(cache=ResultCache(tmp_path))
     assert warm.run(specs) == expected["EP"]
     assert warm.manifest.counts == {
-        "total": 4, "hits": 3, "computed": 1, "failed": 0}
+        "total": 4, "hits": 3, "computed": 1, "failed": 0,
+        "timeouts": 0}
 
 
 def test_warm_cache_fig8_runs_zero_simulations(tmp_path):

@@ -1,0 +1,715 @@
+"""Tests for :mod:`repro.serve`: metrics, HTTP framing, the request
+pipeline (coalescing, admission control, timeouts), the server
+endpoints, graceful drain, the load generator, and the jobs-layer
+satellites (``get_or_none``, timeout manifest status, ``resolve``)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import JobError, ReproError, ServeClientError, ServeError
+from repro.jobs import (
+    JobResolution,
+    JobRunner,
+    JobSpec,
+    PolicySpec,
+    ResultCache,
+    WorkloadRef,
+)
+from repro.jobs.manifest import ManifestEntry, RunManifest
+from repro.serve import (
+    ExperimentServer,
+    AsyncServeClient,
+    RequestPipeline,
+    ServeClient,
+    ServeConfig,
+    ServeMetrics,
+    ServerThread,
+    run_loadgen_blocking,
+)
+from repro.serve import schema
+from repro.serve.http import (
+    HttpProtocolError,
+    read_request,
+    read_response,
+    request_bytes,
+    response_bytes,
+)
+from repro.serve.metrics import Histogram, LabeledCounter
+from repro.serve.pipeline import (
+    STATUS_COALESCED,
+    STATUS_COMPUTED,
+    STATUS_HIT,
+    STATUS_SHED,
+    STATUS_TIMEOUT,
+)
+from repro.sim.config import MachineConfig
+
+
+def _synthetic_spec(iterations: int = 8, threads: int = 2) -> JobSpec:
+    return JobSpec(
+        workload=WorkloadRef.synthetic(cs_fraction=0.2, bus_lines=2,
+                                       iterations=iterations,
+                                       compute_instr=200),
+        policy=PolicySpec.static(threads),
+        config=MachineConfig.small())
+
+
+def _synthetic_payload(iterations: int = 8, threads: int = 2) -> dict:
+    return {"synthetic": {"cs_fraction": 0.2, "bus_lines": 2,
+                          "iterations": iterations, "compute_instr": 200},
+            "policy": "static", "threads": threads}
+
+
+class _StubRunner:
+    """Pipeline-facing runner double: counts resolve() calls.
+
+    ``gate``/``started`` let a test hold a batch inside the executor
+    thread while it probes the pipeline's in-flight state.
+    """
+
+    def __init__(self, gate: threading.Event | None = None,
+                 started: threading.Event | None = None,
+                 result: dict | None = None) -> None:
+        self.gate = gate
+        self.started = started
+        self.result = result if result is not None else {"stub": True}
+        self.batches: list[list[str]] = []
+
+    def resolve(self, specs):
+        self.batches.append([spec.key() for spec in specs])
+        if self.started is not None:
+            self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(10.0)
+        return [JobResolution(key=spec.key(), status="computed",
+                              backend="serial", result=dict(self.result))
+                for spec in specs]
+
+
+def _gated_factory(gate: threading.Event, started: threading.Event,
+                   manifest=None):
+    """Real JobRunner whose resolve() blocks on ``gate`` (drain tests)."""
+
+    def factory() -> JobRunner:
+        runner = JobRunner(cache=ResultCache(None), manifest=manifest)
+        inner = runner.resolve
+
+        def gated(specs):
+            started.set()
+            assert gate.wait(10.0)
+            return inner(specs)
+
+        runner.resolve = gated  # type: ignore[method-assign]
+        return runner
+
+    return factory
+
+
+# -- metrics ----------------------------------------------------------
+
+_PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\+Inf|-?[0-9][0-9.e+-]*)$")
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Strict parse of a text exposition; asserts on malformed lines."""
+    assert text.endswith("\n")
+    samples: dict[str, float] = {}
+    for line in text.strip("\n").split("\n"):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        assert match is not None, f"malformed exposition line: {line!r}"
+        value = match.group(3)
+        samples[match.group(1) + (match.group(2) or "")] = (
+            float("inf") if value == "+Inf" else float(value))
+    return samples
+
+
+def test_metrics_render_parses_as_prometheus_text():
+    metrics = ServeMetrics()
+    metrics.requests.inc("/v1/run")
+    metrics.requests.inc("/v1/run")
+    metrics.responses.inc("200")
+    metrics.hits.inc()
+    metrics.in_flight.inc()
+    metrics.latency.observe(0.003)
+    metrics.latency.observe(7.0)
+    samples = parse_prometheus(metrics.render())
+    assert samples['repro_serve_requests_total{endpoint="/v1/run"}'] == 2
+    assert samples['repro_serve_responses_total{code="200"}'] == 1
+    assert samples["repro_serve_cache_hits_total"] == 1
+    assert samples["repro_serve_in_flight"] == 1
+    assert samples["repro_serve_request_seconds_count"] == 2
+    assert samples['repro_serve_request_seconds_bucket{le="+Inf"}'] == 2
+    # Cumulative buckets: 0.003 lands in le=0.005 and everything above;
+    # 7.0 only joins at le=10.
+    assert samples['repro_serve_request_seconds_bucket{le="0.005"}'] == 1
+    assert samples['repro_serve_request_seconds_bucket{le="5"}'] == 1
+    assert samples['repro_serve_request_seconds_bucket{le="10"}'] == 2
+    assert samples["repro_serve_request_seconds_sum"] == pytest.approx(7.003)
+
+
+def test_histogram_buckets_are_cumulative():
+    hist = Histogram("h", "test", buckets=(1.0, 2.0))
+    for value in (0.5, 1.5, 99.0):
+        hist.observe(value)
+    samples = parse_prometheus("\n".join(hist.render()) + "\n")
+    assert samples['h_bucket{le="1"}'] == 1
+    assert samples['h_bucket{le="2"}'] == 2
+    assert samples['h_bucket{le="+Inf"}'] == 3
+    assert samples["h_count"] == 3
+
+
+def test_labeled_counter_escapes_label_values():
+    counter = LabeledCounter("c", "test", "path")
+    counter.inc('we"ird\npath')
+    rendered = "\n".join(counter.render())
+    assert r'c{path="we\"ird\npath"} 1' in rendered
+
+
+# -- http framing -----------------------------------------------------
+
+def _reader_for(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def test_http_request_round_trip():
+    async def go():
+        wire = request_bytes("POST", "/v1/run", host="h:1",
+                             body=b'{"workload": "EP"}')
+        request = await read_request(_reader_for(wire))
+        assert request is not None
+        assert request.method == "POST"
+        assert request.path == "/v1/run"
+        assert request.keep_alive
+        assert request.json() == {"workload": "EP"}
+        assert await read_request(_reader_for(b"")) is None  # clean EOF
+
+    asyncio.run(go())
+
+
+def test_http_response_round_trip_and_errors():
+    async def go():
+        wire = response_bytes(429, b'{"error": "shed"}',
+                              extra_headers={"Retry-After": "1"},
+                              keep_alive=False)
+        response = await read_response(_reader_for(wire))
+        assert response.status == 429
+        assert response.headers["retry-after"] == "1"
+        assert response.headers["connection"] == "close"
+        assert response.json() == {"error": "shed"}
+        with pytest.raises(HttpProtocolError, match="request line"):
+            await read_request(_reader_for(b"nonsense\r\n\r\n"))
+        with pytest.raises(HttpProtocolError, match="Content-Length"):
+            await read_request(_reader_for(
+                b"GET / HTTP/1.1\r\nContent-Length: frog\r\n\r\n"))
+
+    asyncio.run(go())
+
+
+# -- request canonicalization -----------------------------------------
+
+def test_schema_canonicalizes_equivalent_requests_to_one_key():
+    base = schema.parse_run_request(
+        {"workload": "PageMine", "policy": "static", "threads": 4})
+    spelled = schema.parse_run_request(
+        {"workload": "pagemine", "scale": 1.0, "threads": 4,
+         "policy": "static", "machine": {}})
+    assert base.key() == spelled.key()
+    different = schema.parse_run_request(
+        {"workload": "PageMine", "policy": "static", "threads": 8})
+    assert different.key() != base.key()
+
+
+def test_schema_rejects_malformed_requests():
+    for body, pattern in [
+        ({}, "exactly one"),
+        ({"workload": "EP", "synthetic": {}}, "exactly one"),
+        ({"workload": "NoSuchWorkload"}, "NoSuchWorkload"),
+        ({"workload": "EP", "policy": "nonsense"}, "policy"),
+        ({"workload": "EP", "policy": "fdt", "threads": 4}, "static"),
+        ({"workload": "EP", "threads": 0}, "threads"),
+        ({"workload": "EP", "machine": {"warp": 9}}, "machine knob"),
+        ({"synthetic": {"frobnicate": 1}}, "synthetic knob"),
+        ({"workload": "EP", "scale": "big"}, "number"),
+    ]:
+        with pytest.raises(ReproError, match=pattern):
+            schema.parse_run_request(body)
+    with pytest.raises(ReproError, match="policy"):
+        schema.parse_fdt_request({"workload": "EP", "policy": "static"})
+    with pytest.raises(ReproError, match="non-empty"):
+        schema.parse_sweep_request({"workload": "EP", "threads": []})
+
+
+def test_schema_sweep_clamps_and_sorts_thread_counts():
+    _, counts, config = schema.parse_sweep_request(
+        {"workload": "EP", "threads": [8, 2, 2, 4096, 1]})
+    assert counts == [1, 2, 8]
+    assert all(t <= config.num_cores for t in counts)
+
+
+def test_serve_config_validates_knobs():
+    with pytest.raises(ServeError, match="queue_depth"):
+        ServeConfig(queue_depth=0)
+    with pytest.raises(ServeError, match="workers"):
+        ServeConfig(workers=0)
+
+
+# -- pipeline: coalescing, admission control, timeouts ----------------
+
+def _pipeline(config: ServeConfig, runner,
+              cache: ResultCache | None = None):
+    metrics = ServeMetrics()
+    pipeline = RequestPipeline(config, metrics, cache,
+                               runner_factory=lambda: runner)
+    return pipeline, metrics
+
+
+def test_identical_concurrent_requests_coalesce_to_one_simulation():
+    gate, started = threading.Event(), threading.Event()
+    runner = _StubRunner(gate=gate, started=started)
+    pipeline, metrics = _pipeline(ServeConfig(workers=1), runner)
+    spec = _synthetic_spec()
+    fanout = 8
+
+    async def go():
+        await pipeline.start()
+        tasks = [asyncio.create_task(pipeline.resolve(spec))
+                 for _ in range(fanout)]
+        while not started.is_set():  # leader reached the executor
+            await asyncio.sleep(0.005)
+        gate.set()
+        resolutions = await asyncio.gather(*tasks)
+        await pipeline.drain()
+        return resolutions
+
+    resolutions = asyncio.run(go())
+    # Exactly one simulation ran, for exactly one spec.
+    assert runner.batches == [[spec.key()]]
+    # Every caller got the same answer; one led, the rest coalesced.
+    statuses = sorted(r.status for r in resolutions)
+    assert statuses == [STATUS_COALESCED] * (fanout - 1) + [STATUS_COMPUTED]
+    assert len({json.dumps(r.result, sort_keys=True)
+                for r in resolutions}) == 1
+    assert metrics.misses.value == 1
+    assert metrics.coalesced.value == fanout - 1
+    assert metrics.shed.value == 0
+
+
+def test_full_queue_sheds_instead_of_queuing():
+    gate, started = threading.Event(), threading.Event()
+    runner = _StubRunner(gate=gate, started=started)
+    config = ServeConfig(workers=1, queue_depth=1, max_batch=1,
+                         retry_after=2.5)
+    pipeline, metrics = _pipeline(config, runner)
+
+    async def go():
+        await pipeline.start()
+        first = asyncio.create_task(pipeline.resolve(_synthetic_spec(8)))
+        while not started.is_set():  # worker is busy with the first
+            await asyncio.sleep(0.005)
+        second = asyncio.create_task(pipeline.resolve(_synthetic_spec(9)))
+        await asyncio.sleep(0.02)  # let it occupy the depth-1 queue
+        shed = await pipeline.resolve(_synthetic_spec(10))
+        gate.set()
+        served = await asyncio.gather(first, second)
+        await pipeline.drain()
+        return shed, served
+
+    shed, served = asyncio.run(go())
+    assert shed.status == STATUS_SHED
+    assert shed.result is None
+    assert shed.retry_after == 2.5
+    assert [r.status for r in served] == [STATUS_COMPUTED, STATUS_COMPUTED]
+    assert metrics.shed.value == 1
+    assert len(runner.batches) == 2  # the shed request never ran
+
+
+def test_cache_fast_path_answers_without_touching_the_runner():
+    spec = _synthetic_spec()
+    cache = ResultCache(None)  # conftest points this at tmp_path
+    cache.put(spec.key(), spec.to_dict(), {"answer": 42})
+    runner = _StubRunner()
+    pipeline, metrics = _pipeline(ServeConfig(), runner, cache=cache)
+
+    async def go():
+        await pipeline.start()
+        resolution = await pipeline.resolve(spec)
+        await pipeline.drain()
+        return resolution
+
+    resolution = asyncio.run(go())
+    assert resolution.status == STATUS_HIT
+    assert resolution.result == {"answer": 42}
+    assert runner.batches == []  # no worker involvement at all
+    assert metrics.hits.value == 1
+    assert metrics.misses.value == 0
+
+
+def test_request_timeout_resolves_to_timeout_status():
+    gate = threading.Event()
+    runner = _StubRunner(gate=gate)
+    config = ServeConfig(workers=1, request_timeout=0.05)
+    pipeline, metrics = _pipeline(config, runner)
+
+    async def go():
+        await pipeline.start()
+        resolution = await pipeline.resolve(_synthetic_spec())
+        gate.set()  # release the abandoned batch so drain can join it
+        await pipeline.drain()
+        return resolution
+
+    resolution = asyncio.run(go())
+    assert resolution.status == STATUS_TIMEOUT
+    assert resolution.result is None
+    assert "0.05" in resolution.error
+    assert metrics.timeouts.value == 1
+
+
+# -- server endpoints over real sockets -------------------------------
+
+def _counting_factory(calls: list[list[str]]):
+    def factory() -> JobRunner:
+        runner = JobRunner(cache=ResultCache(None))
+        inner = runner.resolve
+
+        def counting(specs):
+            calls.append([spec.key() for spec in specs])
+            return inner(specs)
+
+        runner.resolve = counting  # type: ignore[method-assign]
+        return runner
+
+    return factory
+
+
+def test_server_serves_repeats_from_cache_without_simulating():
+    calls: list[list[str]] = []
+    with ServerThread(ServeConfig(port=0),
+                      runner_factory=_counting_factory(calls)) as handle:
+        with ServeClient(port=handle.port) as client:
+            payload = _synthetic_payload()
+            status, first = client.request("POST", "/v1/run", payload)
+            assert status == 200
+            assert first["status"] == "computed"
+            assert len(calls) == 1
+
+            status, second = client.request("POST", "/v1/run", payload)
+            assert status == 200
+            assert second["status"] == "hit"
+            assert second["key"] == first["key"]
+            assert second["result"] == first["result"]
+            assert len(calls) == 1  # no new simulator invocation
+
+            # The content key works on the read-only result endpoint ...
+            fetched = client.result(first["key"])
+            assert fetched["result"] == first["result"]
+            # ... and a bogus key is a 404, not an error.
+            status, missing = client.request("GET", "/v1/result/feedbeef")
+            assert status == 404
+
+            samples = parse_prometheus(client.metrics_text())
+            assert samples["repro_serve_cache_misses_total"] == 1
+            assert samples["repro_serve_cache_hits_total"] >= 2
+
+
+def test_server_run_fdt_and_sweep_endpoints():
+    with ServerThread(ServeConfig(port=0)) as handle:
+        with ServeClient(port=handle.port) as client:
+            health = client.healthz()
+            assert health["status"] == "ok"
+
+            run = client.run(synthetic={"cs_fraction": 0.2, "bus_lines": 2,
+                                        "iterations": 8,
+                                        "compute_instr": 200},
+                             policy="static", threads=2,
+                             machine={"cores": 8})
+            assert run["cycles"] > 0
+            assert run["threads"] == [2]
+            assert set(run) >= {"power", "ipc", "energy",
+                                "bus_utilization", "key"}
+
+            decision = client.fdt(synthetic={"cs_fraction": 0.4,
+                                             "bus_lines": 0,
+                                             "iterations": 16,
+                                             "compute_instr": 200},
+                                  machine={"cores": 8})
+            assert decision["policy"] == "fdt"
+            assert len(decision["chosen_threads"]) == 1
+            assert 1 <= decision["chosen_threads"][0] <= 8
+            kernel = decision["kernels"][0]
+            assert kernel["estimates"]  # the Eq. 3/5/7 curve
+            assert kernel["threads"] == decision["chosen_threads"][0]
+
+            sweep = client.sweep(synthetic={"cs_fraction": 0.2,
+                                            "bus_lines": 2,
+                                            "iterations": 8,
+                                            "compute_instr": 200},
+                                 threads=[1, 2, 4], machine={"cores": 8})
+            assert [p["threads"] for p in sweep["points"]] == [1, 2, 4]
+            assert sweep["best_threads"] in (1, 2, 4)
+            best = min(sweep["points"], key=lambda p: p["cycles"])
+            assert sweep["best_threads"] == best["threads"]
+
+            status, body = client.request("GET", "/v1/nonsense")
+            assert status == 404
+            status, body = client.request("GET", "/v1/run")
+            assert status == 405
+            status, body = client.request("POST", "/v1/run",
+                                          {"workload": "NoSuchWorkload"})
+            assert status == 400
+            assert "NoSuchWorkload" in body["error"]
+
+
+def test_server_maps_request_timeout_to_504_with_spec_key():
+    gate = threading.Event()
+    runner = _StubRunner(gate=gate)
+    config = ServeConfig(port=0, workers=1, request_timeout=0.05)
+    try:
+        with ServerThread(config, runner_factory=lambda: runner) as handle:
+            with ServeClient(port=handle.port) as client:
+                payload = _synthetic_payload()
+                status, body = client.request("POST", "/v1/run", payload)
+                assert status == 504
+                assert body["status"] == "timeout"
+                # The body names the spec key so the client can poll
+                # /v1/result/<key> for the abandoned computation.
+                assert body["key"] == schema.parse_run_request(payload).key()
+    finally:
+        gate.set()
+
+
+def test_overloaded_server_sheds_with_retry_after():
+    gate, started = threading.Event(), threading.Event()
+    config = ServeConfig(port=0, workers=1, queue_depth=1, max_batch=1,
+                         retry_after=3.0)
+    with ServerThread(config,
+                      runner_factory=_gated_factory(gate, started)) as handle:
+        async def go():
+            client = AsyncServeClient(port=handle.port)
+            first = asyncio.create_task(
+                client.request("POST", "/v1/run", _synthetic_payload(8)))
+            while not started.is_set():
+                await asyncio.sleep(0.005)
+            second = asyncio.create_task(
+                client.request("POST", "/v1/run", _synthetic_payload(9)))
+            await asyncio.sleep(0.05)
+            shed_status, shed_body = await client.request(
+                "POST", "/v1/run", _synthetic_payload(10))
+            gate.set()
+            served = await asyncio.gather(first, second)
+            return shed_status, shed_body, served
+
+        shed_status, shed_body, served = asyncio.run(go())
+        assert shed_status == 429
+        assert shed_body["status"] == "shed"
+        assert all(status == 200 for status, _ in served)
+        samples = parse_prometheus(
+            ServeClient(port=handle.port).metrics_text())
+        assert samples["repro_serve_shed_total"] == 1
+        assert samples['repro_serve_responses_total{code="429"}'] == 1
+
+
+# -- graceful drain ---------------------------------------------------
+
+def test_sigterm_drains_inflight_and_refuses_new_work(tmp_path):
+    gate, started = threading.Event(), threading.Event()
+    manifest_path = tmp_path / "serve-manifest.json"
+    config = ServeConfig(port=0, workers=1,
+                         manifest_path=str(manifest_path))
+
+    async def go():
+        server: ExperimentServer | None = None
+
+        def factory() -> JobRunner:
+            assert server is not None
+            return _gated_factory(gate, started,
+                                  manifest=server.manifest)()
+
+        server = ExperimentServer(config, runner_factory=factory)
+        await server.start()
+        server.install_signal_handlers()
+        client = AsyncServeClient(port=server.port)
+        inflight = asyncio.create_task(
+            client.request("POST", "/v1/run", _synthetic_payload()))
+        while not started.is_set():  # the request is inside the runner
+            await asyncio.sleep(0.005)
+
+        os.kill(os.getpid(), signal.SIGTERM)
+        await asyncio.sleep(0.05)  # let the handler start the drain
+        assert server.draining
+
+        gate.set()  # now let the in-flight simulation finish
+        status, body = await inflight
+        await asyncio.wait_for(server.serve_forever(), timeout=10.0)
+
+        # New connections are refused once the listener closed.
+        with pytest.raises(ServeClientError):
+            await client.healthz()
+        return status, body
+
+    status, body = asyncio.run(go())
+    assert status == 200  # admitted before SIGTERM, completed after
+    assert body["status"] == "computed"
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["counts"]["computed"] == 1
+
+
+def test_server_thread_stop_is_idempotent_drain():
+    handle = ServerThread(ServeConfig(port=0)).start()
+    port = handle.port
+    with ServeClient(port=port) as client:
+        assert client.healthz()["status"] == "ok"
+    handle.stop()
+    handle.stop()  # second stop is a no-op
+    with pytest.raises(ServeClientError):
+        ServeClient(port=port, timeout=1.0).healthz()
+
+
+# -- loadgen + metrics reconciliation ---------------------------------
+
+def test_loadgen_reconciles_with_server_metrics():
+    with ServerThread(ServeConfig(port=0)) as handle:
+        report = run_loadgen_blocking(
+            "127.0.0.1", handle.port, _synthetic_payload(),
+            rps=40.0, duration=0.5)
+        samples = parse_prometheus(
+            ServeClient(port=handle.port).metrics_text())
+
+    assert report.sent == 20
+    assert report.completed == report.sent
+    assert report.errors == 0
+    assert report.error_5xx == 0
+    assert report.status_codes == {"200": report.completed}
+    # Identical specs: one cold computation, everything else warm.
+    assert report.outcomes["computed"] == 1
+    assert report.hit_rate > 0.5
+    assert report.shed_rate == 0.0
+
+    # The server's counters tell the same story as the client's report.
+    assert samples['repro_serve_requests_total{endpoint="/v1/run"}'] \
+        == report.completed
+    assert samples['repro_serve_responses_total{code="200"}'] \
+        == report.completed
+    assert samples["repro_serve_cache_misses_total"] == 1
+    assert samples["repro_serve_cache_hits_total"] \
+        == report.outcomes.get("hit", 0)
+    assert samples["repro_serve_coalesced_total"] \
+        == report.outcomes.get("coalesced", 0)
+    assert samples["repro_serve_shed_total"] == 0
+    # The scrape sees itself in flight; nothing else is.
+    assert samples["repro_serve_in_flight"] == 1
+    assert samples["repro_serve_request_seconds_count"] == report.completed
+
+    # The report carries the documented percentile and rate fields.
+    d = report.to_dict()
+    assert set(d["latency_ms"]) == {"p50", "p95", "p99"}
+    assert d["latency_ms"]["p50"] <= d["latency_ms"]["p99"]
+    text = report.format()
+    assert "p50" in text and "hit rate" in text
+
+
+def test_loadgen_percentiles_nearest_rank():
+    from repro.serve import LoadgenReport
+    report = LoadgenReport(target_rps=1.0, duration=1.0, sent=4,
+                           completed=4,
+                           latencies=[0.010, 0.020, 0.030, 0.100])
+    assert report.percentile(0.0) == 0.010
+    assert report.percentile(0.5) == pytest.approx(0.030)
+    assert report.percentile(1.0) == 0.100
+    assert LoadgenReport(target_rps=1.0, duration=1.0).percentile(0.5) == 0.0
+
+
+# -- jobs-layer satellites --------------------------------------------
+
+def test_get_or_none_is_read_only_while_get_repairs():
+    cache = ResultCache(None)
+    cache.put("ab" + "0" * 62, {"spec": 1}, {"value": 1})
+    key = "cd" + "0" * 62
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("{not json", encoding="utf-8")
+
+    # The serving fast path reports a miss and leaves the file alone.
+    assert cache.get_or_none(key) is None
+    assert path.exists()
+    # The batch path treats corruption as a miss and deletes the entry.
+    assert cache.get(key) is None
+    assert not path.exists()
+    # Plain misses never invent files or delete anything.
+    assert cache.get_or_none("ef" + "0" * 62) is None
+    assert cache.get("ef" + "0" * 62) is None
+    assert len(cache) == 1
+
+
+def test_manifest_counts_and_summary_surface_timeouts():
+    manifest = RunManifest()
+    manifest.record(ManifestEntry(key="a", workload="EP", policy="static-2",
+                                  status="computed", backend="serial"))
+    manifest.record(ManifestEntry(key="b", workload="EP", policy="static-4",
+                                  status="timeout", backend="pool",
+                                  error="no result within 0.2s"))
+    manifest.record(ManifestEntry(key="c", workload="EP", policy="static-8",
+                                  status="failed", backend="pool",
+                                  error="boom"))
+    counts = manifest.counts
+    assert counts == {"total": 3, "hits": 0, "computed": 1,
+                      "failed": 1, "timeouts": 1}
+    summary = manifest.summary()
+    assert "1 TIMED OUT" in summary
+    assert "1 FAILED" in summary
+
+
+def test_job_runner_resolve_reports_per_spec_statuses():
+    runner = JobRunner(cache=ResultCache(None))
+    good = _synthetic_spec(iterations=8)
+    resolutions = runner.resolve([good, good])
+    # Duplicates in one batch simulate once and both resolve ok.
+    assert [r.ok for r in resolutions] == [True, True]
+    assert resolutions[0].key == resolutions[1].key
+    assert resolutions[0].status == "computed"
+    assert resolutions[0].app_result().cycles > 0
+
+    # A fresh runner sees the first's cached result as a hit.
+    warm = JobRunner(cache=ResultCache(None))
+    again = warm.resolve([good])[0]
+    assert again.status == "hit"
+    assert again.backend == "cache"
+    assert again.result == resolutions[0].result
+
+
+def test_job_runner_resolve_never_raises_on_timeout(monkeypatch):
+    import multiprocessing
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("crash-injection patches need forked workers")
+    from repro.jobs import executor as executor_mod
+
+    def too_slow(spec_dict):
+        time.sleep(5.0)
+        return {}
+
+    monkeypatch.setattr(executor_mod, "_execute_payload", too_slow)
+    runner = JobRunner(jobs=2, timeout=0.2)
+    # Two specs so the pool backend (the only one with a per-job
+    # timeout) actually engages; a single spec runs serially.
+    specs = [_synthetic_spec(iterations=8, threads=t) for t in (1, 2)]
+    resolutions = runner.resolve(specs)
+    assert [r.status for r in resolutions] == ["timeout", "timeout"]
+    assert not any(r.ok for r in resolutions)
+    assert all("within" in r.error for r in resolutions)
+    with pytest.raises(JobError, match="timeout"):
+        resolutions[0].app_result()
+    assert runner.manifest.counts["timeouts"] == 2
