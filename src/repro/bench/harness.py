@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -23,20 +22,23 @@ from pathlib import Path
 from typing import Any
 
 from repro.bench.scenarios import Scenario, select
+from repro.obs.registry import default_registry
 
 #: Bump on any incompatible change to the report layout.
 SCHEMA = "repro-bench/1"
 
 
 def host_fingerprint() -> dict[str, Any]:
-    """Identify the measuring host well enough to judge comparability."""
-    return {
-        "python": platform.python_version(),
-        "implementation": platform.python_implementation(),
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "cpu_count": os.cpu_count(),
-    }
+    """Identify the measuring host well enough to judge comparability.
+
+    Delegates to :func:`repro.obs.runreg.host_fingerprint` — the
+    canonical implementation the run registry stamps provenance rows
+    with — so a bench report and a registry row from the same host
+    carry the same keys and values.
+    """
+    from repro.obs.runreg import host_fingerprint as obs_fingerprint
+
+    return obs_fingerprint()
 
 
 @dataclass(slots=True)
@@ -123,6 +125,13 @@ def _run_one(scenario: Scenario, quick: bool, trials: int,
                 f"{sim_cycles} / {sim_ops}")
         if i >= warmup:
             seconds.append(elapsed)
+            # Kept trials feed the shared registry with the scenario
+            # name as the exemplar, so an outlier bucket names its
+            # culprit.
+            default_registry().histogram(
+                "repro_bench_trial_seconds",
+                "Wall-clock duration of kept bench trials."
+            ).observe(elapsed, exemplar=scenario.name)
     return ScenarioResult(name=scenario.name,
                           description=scenario.description,
                           trials=trials, warmup=warmup,

@@ -814,12 +814,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_job_args(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
 
+    from repro.obs.cli import add_obs_subparser
+    add_obs_subparser(sub)
+
+    # Global logging flags, accepted by every subcommand (after the
+    # subcommand name): `repro serve --log-json --log-level INFO`.
+    for subparser in set(sub.choices.values()):
+        subparser.add_argument(
+            "--log-level", default=None, metavar="LEVEL",
+            help="structured-log level for every repro subsystem "
+                 "(DEBUG, INFO, WARNING, ERROR; default WARNING)")
+        subparser.add_argument(
+            "--log-json", action="store_true",
+            help="emit logs as JSON lines (trace-correlated) instead "
+                 "of human-readable text")
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs import configure_logging
+    configure_logging(level=getattr(args, "log_level", None) or "WARNING",
+                      json_lines=bool(getattr(args, "log_json", False)))
     try:
         return args.func(args)
     except ReproError as exc:

@@ -154,6 +154,7 @@ class FdtPolicy(ThreadingPolicy):
             machine.trace.on_fdt_decision(
                 kernel.name, self.name, self.mode.value, log, estimates,
                 threads, slots, machine.events.now)
+        self._publish_decision(estimates, threads)
 
         # -- execution: remaining iterations on the chosen team ------------
         remaining = range(log.trained_iterations, total)
@@ -174,3 +175,42 @@ class FdtPolicy(ThreadingPolicy):
             estimates=estimates,
             stop_reason=log.stop_reason,
         )
+
+    def _publish_decision(self, estimates: Estimates,
+                          threads: int) -> None:
+        """Default-registry instruments for the decision just made.
+
+        A pure observer of host-side telemetry: nothing here reads or
+        writes machine state, so simulated cycles are unchanged
+        (``tests/test_obs_parity.py``).
+        """
+        from repro.obs.registry import default_registry
+
+        registry = default_registry()
+        registry.labeled_counter(
+            "repro_fdt_decisions_total",
+            "FDT threading decisions, by mode.", "mode").inc(self.mode.value)
+        registry.histogram(
+            "repro_fdt_chosen_threads",
+            "Thread counts chosen by FDT decisions.",
+            buckets=(1, 2, 4, 8, 16, 32, 64)).observe(float(threads))
+        registry.gauge(
+            "repro_fdt_cs_fraction",
+            "Last Eq. 3 critical-section fraction estimate."
+        ).set(estimates.cs_fraction)
+        registry.gauge(
+            "repro_fdt_bu1",
+            "Last Eq. 5 single-thread bus-utilization estimate."
+        ).set(estimates.bu1)
+        registry.gauge(
+            "repro_fdt_p_cs",
+            "Last Eq. 3 synchronization-optimal thread count."
+        ).set(float(estimates.p_cs))
+        registry.gauge(
+            "repro_fdt_p_bw",
+            "Last Eq. 5 bandwidth-optimal thread count."
+        ).set(float(estimates.p_bw))
+        registry.gauge(
+            "repro_fdt_p_fdt",
+            "Last Eq. 7 combined thread count."
+        ).set(float(estimates.p_fdt))

@@ -19,7 +19,8 @@ is a structural property, not an accident of which path ran.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from datetime import datetime, timedelta, timezone
+from typing import Any, Sequence
 
 from repro.errors import JobError
 from repro.fdt.runner import AppRunResult
@@ -28,7 +29,11 @@ from repro.jobs.executor import STATUS_TIMEOUT, execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
 from repro.jobs.preflight import PreflightVerdict, preflight_key, run_preflight
 from repro.jobs.results import app_result_from_dict
-from repro.jobs.spec import JobSpec
+from repro.jobs.spec import SCHEMA_VERSION, JobSpec
+from repro.obs import get_logger
+from repro.obs.registry import default_registry
+from repro.obs.runreg import RunRecord, RunRegistry, host_fingerprint
+from repro.obs.tracing import current_context, span
 
 #: Resolution statuses (manifest statuses plus ``preflight-failed``).
 RESOLVED_HIT = "hit"
@@ -36,6 +41,24 @@ RESOLVED_COMPUTED = "computed"
 RESOLVED_TIMEOUT = STATUS_TIMEOUT
 RESOLVED_FAILED = "failed"
 RESOLVED_PREFLIGHT = "preflight-failed"
+
+_log = get_logger("jobs")
+
+
+def _fdt_decisions(result: dict | None) -> list[dict[str, Any]]:
+    """Per-kernel threading decisions out of a serialized result dict."""
+    if not result:
+        return []
+    decisions: list[dict[str, Any]] = []
+    for info in result.get("kernel_infos", []):
+        decision: dict[str, Any] = {
+            "kernel": info.get("kernel_name", ""),
+            "threads": info.get("threads"),
+        }
+        if info.get("estimates") is not None:
+            decision["estimates"] = info["estimates"]
+        decisions.append(decision)
+    return decisions
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,13 +113,19 @@ class JobRunner:
             alongside results, so a sweep pays for each distinct
             workload once.  Cache and memo hits skip the gate — they
             already completed once.
+        run_registry: persistent provenance registry
+            (:mod:`repro.obs.runreg`) appended to for every resolved
+            spec.  Defaults to ``<cache root>/obs`` (or the global
+            default location when running cache-less), so ``repro obs``
+            finds the rows next to the results they describe.
     """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
                  timeout: float | None = None, retries: int = 1,
                  manifest: RunManifest | None = None,
                  trace_dir: str | None = None,
-                 preflight: bool = False) -> None:
+                 preflight: bool = False,
+                 run_registry: RunRegistry | None = None) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
@@ -104,8 +133,19 @@ class JobRunner:
         self.manifest = manifest if manifest is not None else RunManifest()
         self.trace_dir = trace_dir
         self.preflight = preflight
+        self._run_registry = run_registry
+        self._host: dict | None = None
         self._memo: dict[str, dict] = {}
         self._preflight_memo: dict[str, PreflightVerdict] = {}
+
+    @property
+    def run_registry(self) -> RunRegistry:
+        """Provenance registry (default: ``<cache root>/obs``)."""
+        if self._run_registry is None:
+            root = (self.cache.root / "obs"
+                    if self.cache is not None else None)
+            self._run_registry = RunRegistry(root)
+        return self._run_registry
 
     def run_one(self, spec: JobSpec) -> AppRunResult:
         """Resolve a single spec (see :meth:`run`)."""
@@ -118,14 +158,15 @@ class JobRunner:
             JobError: if any job failed or timed out in every attempt;
                 the manifest still records every entry.
         """
-        keys = [spec.key() for spec in specs]
-        misses = self._lookup(keys, specs)
-        if misses:
-            if self.preflight:
-                self._gate(misses)
-            outcomes = self._compute(misses)
-            self._raise_on_failure(misses, outcomes)
-        return [app_result_from_dict(self._memo[key]) for key in keys]
+        with span("jobs.run", specs=len(specs)):
+            keys = [spec.key() for spec in specs]
+            misses = self._lookup(keys, specs)
+            if misses:
+                if self.preflight:
+                    self._gate(misses)
+                outcomes = self._compute(misses)
+                self._raise_on_failure(misses, outcomes)
+            return [app_result_from_dict(self._memo[key]) for key in keys]
 
     def resolve(self, specs: Sequence[JobSpec]) -> list[JobResolution]:
         """Resolve every spec to a per-spec outcome, never raising.
@@ -138,62 +179,70 @@ class JobRunner:
         Manifest recording, memoization, and caching are identical to
         :meth:`run`.
         """
-        keys = [spec.key() for spec in specs]
-        misses = self._lookup(keys, specs)
-        by_key: dict[str, JobResolution] = {}
-        dispatch: list[tuple[str, JobSpec]] = []
-        for key, spec in misses:
-            if self.preflight:
-                verdict = self._preflight_verdict(spec)
-                if not verdict.ok:
-                    error = "; ".join(verdict.fatal)
-                    self._record(key, spec, status=RESOLVED_PREFLIGHT,
-                                 backend="static", error=error)
-                    by_key[key] = JobResolution(
-                        key=key, status=RESOLVED_PREFLIGHT, backend="static",
-                        result=None, error=error)
-                    continue
-            dispatch.append((key, spec))
-        if dispatch:
-            for key, outcome in self._compute(dispatch).items():
-                if outcome.ok:
-                    by_key[key] = JobResolution(
-                        key=key, status=RESOLVED_COMPUTED,
-                        backend=outcome.backend, result=outcome.result,
-                        wall_time=outcome.wall_time)
-                else:
-                    by_key[key] = JobResolution(
-                        key=key, status=outcome.status,
-                        backend=outcome.backend, result=None,
-                        error=outcome.error, wall_time=outcome.wall_time)
-        out = []
-        for key in keys:
-            resolution = by_key.get(key)
-            if resolution is None:  # memo or cache hit
-                resolution = JobResolution(
-                    key=key, status=RESOLVED_HIT, backend="cache",
-                    result=self._memo[key])
-            out.append(resolution)
-        return out
+        with span("jobs.resolve", specs=len(specs)):
+            keys = [spec.key() for spec in specs]
+            misses = self._lookup(keys, specs)
+            by_key: dict[str, JobResolution] = {}
+            dispatch: list[tuple[str, JobSpec]] = []
+            for key, spec in misses:
+                if self.preflight:
+                    verdict = self._preflight_verdict(spec)
+                    if not verdict.ok:
+                        error = "; ".join(verdict.fatal)
+                        self._record(key, spec, status=RESOLVED_PREFLIGHT,
+                                     backend="static", error=error)
+                        by_key[key] = JobResolution(
+                            key=key, status=RESOLVED_PREFLIGHT,
+                            backend="static", result=None, error=error)
+                        continue
+                dispatch.append((key, spec))
+            if dispatch:
+                for key, outcome in self._compute(dispatch).items():
+                    if outcome.ok:
+                        by_key[key] = JobResolution(
+                            key=key, status=RESOLVED_COMPUTED,
+                            backend=outcome.backend, result=outcome.result,
+                            wall_time=outcome.wall_time)
+                    else:
+                        by_key[key] = JobResolution(
+                            key=key, status=outcome.status,
+                            backend=outcome.backend, result=None,
+                            error=outcome.error, wall_time=outcome.wall_time)
+            out = []
+            for key in keys:
+                resolution = by_key.get(key)
+                if resolution is None:  # memo or cache hit
+                    resolution = JobResolution(
+                        key=key, status=RESOLVED_HIT, backend="cache",
+                        result=self._memo[key])
+                out.append(resolution)
+            return out
 
     # -- internals ---------------------------------------------------------
 
     def _lookup(self, keys: Sequence[str],
                 specs: Sequence[JobSpec]) -> list[tuple[str, JobSpec]]:
         """Memo/cache phase: record hits, return deduplicated misses."""
+        cache_lookups = default_registry().labeled_counter(
+            "repro_jobs_cache_total",
+            "Result lookups by outcome (memo and disk hits vs misses).",
+            "outcome")
         misses: list[tuple[str, JobSpec]] = []
         seen: set[str] = set()
         for key, spec in zip(keys, specs):
             if key in self._memo:
+                cache_lookups.inc("hit")
                 self._record(key, spec, status="hit", backend="memo")
                 continue
             if key in seen:
                 continue
             cached = self._load_cached(key)
             if cached is not None:
+                cache_lookups.inc("hit")
                 self._memo[key] = cached
                 self._record(key, spec, status="hit", backend="cache")
             else:
+                cache_lookups.inc("miss")
                 seen.add(key)
                 misses.append((key, spec))
         return misses
@@ -221,6 +270,14 @@ class JobRunner:
 
     def _preflight_verdict(self, spec: JobSpec) -> PreflightVerdict:
         """Memo -> cache -> analyze, mirroring the result chain."""
+        verdict = self._preflight_lookup(spec)
+        default_registry().labeled_counter(
+            "repro_jobs_preflight_total",
+            "Pre-flight static verifications by verdict.",
+            "verdict").inc("ok" if verdict.ok else "rejected")
+        return verdict
+
+    def _preflight_lookup(self, spec: JobSpec) -> PreflightVerdict:
         pkey = preflight_key(spec)
         verdict = self._preflight_memo.get(pkey)
         if verdict is not None:
@@ -308,6 +365,14 @@ class JobRunner:
     def _record(self, key: str, spec: JobSpec, status: str, backend: str,
                 wall_time: float = 0.0, error: str = "",
                 trace_path: str = "") -> None:
+        """The single bookkeeping point for every resolved spec.
+
+        One call appends the manifest entry, the run-registry
+        provenance row, and the resolution metric — so the three views
+        can never disagree about what happened.
+        """
+        finished = datetime.now(timezone.utc)
+        started = finished - timedelta(seconds=wall_time)
         self.manifest.record(ManifestEntry(
             key=key,
             workload=spec.workload.label,
@@ -317,4 +382,31 @@ class JobRunner:
             wall_time=wall_time,
             error=error,
             trace_path=trace_path,
+            started_at=started.isoformat(),
+            finished_at=finished.isoformat(),
         ))
+        default_registry().labeled_counter(
+            "repro_jobs_resolutions_total",
+            "Job resolutions by disposition.", "status").inc(status)
+        if self._host is None:
+            self._host = host_fingerprint()
+        ctx = current_context()
+        self.run_registry.append(RunRecord(
+            key=key,
+            workload=spec.workload.label,
+            policy=spec.policy.label,
+            status=status,
+            backend=backend,
+            wall_time=wall_time,
+            started_at=started.isoformat(),
+            finished_at=finished.isoformat(),
+            schema_version=SCHEMA_VERSION,
+            host=self._host,
+            trace_id=ctx.trace_id if ctx is not None else "",
+            trace_path=trace_path,
+            error=error,
+            fdt=_fdt_decisions(self._memo.get(key)),
+        ))
+        _log.debug("resolved", extra={"key": key, "status": status,
+                                      "backend": backend,
+                                      "wall_time": round(wall_time, 6)})

@@ -34,6 +34,8 @@ from typing import Sequence
 
 from repro.jobs.results import app_result_to_dict
 from repro.jobs.spec import JobSpec
+from repro.obs.log import configure_from_env
+from repro.obs.tracing import span
 
 #: Outcome status values (``"ok"`` is the only success).
 STATUS_OK = "ok"
@@ -96,6 +98,9 @@ def _trace_path(trace_dir: str | None, key: str) -> str:
 
 def _pool_entry(spec_dict: dict, trace_dir: str | None = None) -> dict:
     """Worker-side wrapper: run the job and report its execution time."""
+    # Worker processes inherit the parent's logging choice through the
+    # environment (REPRO_LOG_LEVEL / REPRO_LOG_JSON); no-op if unset.
+    configure_from_env()
     started = time.perf_counter()
     result = _run_payload(spec_dict, trace_dir)
     return {"result": result, "elapsed": time.perf_counter() - started}
@@ -110,7 +115,9 @@ def run_serial(specs: Sequence[JobSpec],
         key = spec.key()
         started = time.perf_counter()
         try:
-            result = _run_payload(spec.to_dict(), trace_dir)
+            with span("sim.run", key=key, workload=spec.workload.label,
+                      policy=spec.policy.label, backend=backend):
+                result = _run_payload(spec.to_dict(), trace_dir)
         except Exception as exc:
             outcomes.append(JobOutcome(
                 key=key, status=STATUS_FAILED, result=None,

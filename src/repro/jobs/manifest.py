@@ -38,6 +38,10 @@ class ManifestEntry:
     #: Where the job's trace artifacts were written ("" when untraced;
     #: cache hits never re-trace, so hits always carry "").
     trace_path: str = ""
+    #: Wall-clock bounds of the resolution, ISO-8601 with timezone
+    #: ("" for entries recorded before timestamping existed).
+    started_at: str = ""
+    finished_at: str = ""
 
     def to_dict(self) -> dict:
         return {
@@ -49,6 +53,8 @@ class ManifestEntry:
             "wall_time": round(self.wall_time, 6),
             "error": self.error,
             "trace_path": self.trace_path,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
         }
 
 
@@ -91,11 +97,25 @@ class RunManifest:
         """Summed per-job wall time (not batch elapsed time)."""
         return sum(e.wall_time for e in self.entries)
 
+    @property
+    def started_at(self) -> str:
+        """Earliest per-entry start ("" until a stamped entry exists)."""
+        stamps = [e.started_at for e in self.entries if e.started_at]
+        return min(stamps) if stamps else ""
+
+    @property
+    def finished_at(self) -> str:
+        """Latest per-entry finish ("" until a stamped entry exists)."""
+        stamps = [e.finished_at for e in self.entries if e.finished_at]
+        return max(stamps) if stamps else ""
+
     def to_dict(self) -> dict:
         return {
             "schema": SCHEMA_VERSION,
             "counts": self.counts,
             "wall_time": round(self.wall_time, 6),
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
             "entries": [e.to_dict() for e in self.entries],
         }
 

@@ -1,0 +1,79 @@
+"""Unified telemetry spine: metrics, spans, structured logs, provenance.
+
+Four pieces, all stdlib-only and all pure observers (simulated cycles
+are bit-identical with obs on or off — ``tests/test_obs_parity.py``):
+
+* :mod:`repro.obs.registry` — thread-safe metrics instruments and the
+  shared :class:`MetricsRegistry`; serve's ``/metrics`` endpoint is a
+  renderer over it, and jobs / FDT / bench register their own
+  instruments into the process-global :func:`default_registry`.
+* :mod:`repro.obs.tracing` — span-based tracing with explicit
+  trace/span-ID propagation through serve → jobs → simulation,
+  exported as JSON lines or Perfetto ``trace_event`` JSON.
+* :mod:`repro.obs.log` — per-subsystem structured logging (JSON or
+  human lines), configured once by the global ``--log-level`` /
+  ``--log-json`` flags and inherited by worker processes.
+* :mod:`repro.obs.runreg` — the persistent run registry under the
+  cache dir: one provenance row per resolved spec, queryable with
+  ``repro obs list | show | tail | report``.
+
+See ``docs/obs.md``.
+"""
+
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import configure_from_env, get_logger, kv
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.runreg import (
+    RunRecord,
+    RunRegistry,
+    default_runreg_dir,
+    host_fingerprint,
+)
+from repro.obs.tracing import (
+    Span,
+    SpanRecorder,
+    TraceContext,
+    current_context,
+    merged_perfetto,
+    recorder,
+    span,
+    spans_to_perfetto,
+    use_context,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "MetricsRegistry",
+    "RunRecord",
+    "RunRegistry",
+    "Span",
+    "SpanRecorder",
+    "TraceContext",
+    "configure_from_env",
+    "configure_logging",
+    "current_context",
+    "default_registry",
+    "default_runreg_dir",
+    "get_logger",
+    "host_fingerprint",
+    "kv",
+    "merged_perfetto",
+    "recorder",
+    "reset_default_registry",
+    "span",
+    "spans_to_perfetto",
+    "use_context",
+]

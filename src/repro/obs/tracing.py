@@ -1,0 +1,300 @@
+"""Span-based tracing with explicit trace/span-ID propagation.
+
+The cycle-level tracer (:mod:`repro.trace`) answers "what did the
+simulated machine do, cycle by cycle"; this module answers "what did
+the *host* pipeline do with a request" — serve request → schema
+canonicalization → cache probe → batch dispatch → simulation run —
+as a tree of wall-clock spans sharing one trace ID.
+
+Propagation is explicit and two-layered:
+
+* within one thread (and across ``await`` points of one asyncio task)
+  the current :class:`TraceContext` lives in a ``contextvars``
+  variable; :func:`span` opens a child of it;
+* across threads and queues — the serving pipeline hands a request to
+  a worker task and then to an executor thread — the context is
+  carried by hand and re-entered with :func:`use_context`, because
+  executors do not copy context.
+
+Finished spans land in the process-global :class:`SpanRecorder` (a
+bounded ring) and, when a sink is configured (``set_sink`` or the
+``REPRO_OBS_SPANS`` environment variable), are appended as JSON lines.
+:func:`spans_to_perfetto` renders spans in the same Chrome
+``trace_event`` dialect as :mod:`repro.trace.export`, and
+:func:`merged_perfetto` folds a simulation's cycle-level trace into the
+same document, so a served request and the simulation it triggered can
+be read off one timeline.
+
+Everything here is a pure observer of host time: nothing reads or
+writes simulator state, so simulated cycles are bit-identical with
+tracing active or not (``tests/test_obs_parity.py``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import time
+from typing import Iterator, Sequence
+
+#: Ring capacity of the in-process recorder.
+MAX_RECORDED_SPANS = 4096
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The identity a span publishes and its children inherit."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+    def child(self) -> "TraceContext":
+        return TraceContext(trace_id=self.trace_id, span_id=new_span_id(),
+                            parent_id=self.span_id)
+
+    @classmethod
+    def root(cls, trace_id: str | None = None) -> "TraceContext":
+        return cls(trace_id=trace_id or new_trace_id(),
+                   span_id=new_span_id())
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One finished operation on the host timeline."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    #: Wall-clock bounds (``time.time`` epoch seconds).
+    start: float
+    end: float
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+            "duration": round(self.duration, 6),
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(trace_id=data["trace_id"], span_id=data["span_id"],
+                   parent_id=data.get("parent_id", ""), name=data["name"],
+                   start=float(data["start"]), end=float(data["end"]),
+                   status=data.get("status", "ok"),
+                   attrs=dict(data.get("attrs", {})))
+
+
+class SpanRecorder:
+    """Bounded in-memory span store with an optional JSONL sink."""
+
+    def __init__(self, capacity: int = MAX_RECORDED_SPANS) -> None:
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._sink: Path | None = None
+        env = os.environ.get("REPRO_OBS_SPANS")
+        if env:
+            self._sink = Path(env)
+
+    def set_sink(self, path: str | Path | None) -> None:
+        """Append finished spans as JSON lines to ``path`` (None stops)."""
+        with self._lock:
+            self._sink = None if path is None else Path(path)
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            sink = self._sink
+        if sink is not None:
+            try:
+                sink.parent.mkdir(parents=True, exist_ok=True)
+                with open(sink, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(span.to_dict(),
+                                            sort_keys=True) + "\n")
+            except OSError:
+                pass  # observability must never take the workload down
+
+    def spans(self, trace_id: str | None = None,
+              name: str | None = None) -> list[Span]:
+        """Recorded spans, optionally filtered by trace ID and/or name."""
+        with self._lock:
+            out = list(self._spans)
+        if trace_id is not None:
+            out = [s for s in out if s.trace_id == trace_id]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+_recorder = SpanRecorder()
+
+_current: contextvars.ContextVar[TraceContext | None] = \
+    contextvars.ContextVar("repro_obs_trace_context", default=None)
+
+
+def recorder() -> SpanRecorder:
+    """The process-global span recorder."""
+    return _recorder
+
+
+def current_context() -> TraceContext | None:
+    """The active trace context of this thread/task, if any."""
+    return _current.get()
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Re-enter a context carried across a thread or queue boundary."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[TraceContext]:
+    """Open a span: child of the current context, or a new trace root.
+
+    The span is recorded when the block exits; an escaping exception
+    marks it ``status="error"`` (and re-raises).
+    """
+    parent = _current.get()
+    ctx = parent.child() if parent is not None else TraceContext.root()
+    token = _current.set(ctx)
+    started = time()
+    status = "ok"
+    try:
+        yield ctx
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        _current.reset(token)
+        _recorder.record(Span(
+            trace_id=ctx.trace_id, span_id=ctx.span_id,
+            parent_id=ctx.parent_id, name=name,
+            start=started, end=time(), status=status,
+            attrs={k: v for k, v in attrs.items()}))
+
+
+# -- exporters --------------------------------------------------------
+
+def spans_jsonl(spans: Sequence[Span]) -> str:
+    """Spans as JSON lines (one object per line, sorted keys)."""
+    return "".join(json.dumps(s.to_dict(), sort_keys=True) + "\n"
+                   for s in spans)
+
+
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Parse a span JSONL file, skipping corrupt lines."""
+    out: list[Span] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return out
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(Span.from_dict(json.loads(line)))
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
+def spans_to_trace_events(spans: Sequence[Span], pid: int = 1) -> list[dict]:
+    """Spans as Chrome ``trace_event`` complete events.
+
+    Timestamps are microseconds relative to the earliest span start, so
+    the document opens at t=0 in the Perfetto UI.  Each trace gets its
+    own track (``tid``), keeping concurrent requests visually separate.
+    """
+    if not spans:
+        return []
+    t0 = min(s.start for s in spans)
+    tids: dict[str, int] = {}
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": "repro.obs request pipeline"},
+    }]
+    for s in spans:
+        tid = tids.setdefault(s.trace_id, len(tids))
+        events.append({
+            "name": s.name, "cat": "obs", "ph": "X",
+            "pid": pid, "tid": tid,
+            "ts": (s.start - t0) * 1e6, "dur": s.duration * 1e6,
+            "args": {"trace_id": s.trace_id, "span_id": s.span_id,
+                     "parent_id": s.parent_id, "status": s.status,
+                     **{k: v for k, v in s.attrs.items()}},
+        })
+    for trace_id, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"trace {trace_id[:8]}"},
+        })
+    return events
+
+
+def spans_to_perfetto(spans: Sequence[Span]) -> dict:
+    """A standalone Perfetto document of host-side spans."""
+    return {
+        "traceEvents": spans_to_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro.obs",
+                      "time_unit": "1 viewer us = 1 host us"},
+    }
+
+
+def merged_perfetto(spans: Sequence[Span], sim_trace: object) -> dict:
+    """One timeline: host-side spans plus a cycle-level sim trace.
+
+    ``sim_trace`` is a :class:`repro.trace.data.Trace`; its events keep
+    :mod:`repro.trace.export`'s encoding (pid 0, 1 viewer us = 1 cycle)
+    and the request spans ride alongside on pid 1.  The two clocks are
+    different units on purpose — the point is correlation (which spans
+    bracket which simulation), not a shared axis.
+    """
+    from repro.trace.export import to_perfetto
+
+    doc = to_perfetto(sim_trace)  # type: ignore[arg-type]
+    doc["traceEvents"] = list(doc["traceEvents"]) \
+        + spans_to_trace_events(spans)
+    other = dict(doc.get("otherData", {}))
+    other["obs_spans"] = len(spans)
+    doc["otherData"] = other
+    return doc

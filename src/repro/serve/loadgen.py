@@ -77,10 +77,21 @@ class LoadgenReport:
             return 0.0
         return self.completed / self.elapsed
 
+    @property
+    def hits(self) -> int:
+        """Warm-served responses (cache hits plus coalesced joins)."""
+        return (self.outcomes.get("hit", 0)
+                + self.outcomes.get("coalesced", 0))
+
+    @property
+    def shed(self) -> int:
+        return self.status_codes.get("429", 0)
+
     def to_dict(self) -> dict:
         return {
             "target_rps": self.target_rps,
             "duration": self.duration,
+            "elapsed": round(self.elapsed, 6),
             "sent": self.sent,
             "completed": self.completed,
             "errors": self.errors,
@@ -90,6 +101,9 @@ class LoadgenReport:
                 "p95": round(self.percentile(0.95) * 1e3, 3),
                 "p99": round(self.percentile(0.99) * 1e3, 3),
             },
+            "hits": self.hits,
+            "shed": self.shed,
+            "error_5xx": self.error_5xx,
             "hit_rate": round(self.hit_rate, 4),
             "shed_rate": round(self.shed_rate, 4),
             "status_codes": dict(sorted(self.status_codes.items())),

@@ -1,213 +1,70 @@
-"""Live serving metrics with Prometheus text-format exposition.
+"""The experiment server's instrument panel over the shared registry.
 
-A deliberately small metrics core — counters, one-label counters, a
-gauge, and a fixed-bucket histogram — rendered in the Prometheus text
-exposition format (version 0.0.4) on ``GET /metrics``.  All updates
-happen on the server's event-loop thread, so no locking is needed; the
-render is a consistent snapshot of whatever the loop has applied.
+The instrument classes themselves (counters, labeled counters, gauges,
+fixed-bucket histograms) and the Prometheus text renderer now live in
+:mod:`repro.obs.registry` — this module re-exports them for backward
+compatibility and keeps :class:`ServeMetrics`, the concrete panel the
+server wires into its request path.
 
-:class:`ServeMetrics` is the concrete instrument panel: request and
-response counters, the cache hit/miss/coalesced/shed/timeout/failure
-split the load generator reconciles against, an in-flight gauge, and a
-request-latency histogram.
+``GET /metrics`` is a renderer over two registries: the server's own
+panel (each :class:`ServeMetrics` owns a private
+:class:`~repro.obs.registry.MetricsRegistry`, so concurrent servers in
+one process never collide) followed by the process-global default
+registry, where the jobs layer, FDT training, and bench register their
+instruments.  The panel's exposition is byte-identical to the
+pre-``repro.obs`` endpoint; the default registry only appends.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterable
-
-#: Default latency buckets (seconds): sub-millisecond cache hits
-#: through multi-second cold simulations.
-LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
-
-
-def _format_value(value: float) -> str:
-    """Prometheus sample value: integers bare, floats via ``repr``."""
-    if value == math.inf:
-        return "+Inf"
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-def _escape_label(value: str) -> str:
-    return (value.replace("\\", r"\\").replace('"', r"\"")
-            .replace("\n", r"\n"))
-
-
-class Counter:
-    """Monotonic counter."""
-
-    __slots__ = ("name", "help", "_value")
-
-    def __init__(self, name: str, help_text: str) -> None:
-        self.name = name
-        self.help = help_text
-        self._value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-    def render(self) -> list[str]:
-        return [f"# HELP {self.name} {self.help}",
-                f"# TYPE {self.name} counter",
-                f"{self.name} {_format_value(self._value)}"]
-
-
-class LabeledCounter:
-    """Counter family with a single label dimension."""
-
-    __slots__ = ("name", "help", "label", "_values")
-
-    def __init__(self, name: str, help_text: str, label: str) -> None:
-        self.name = name
-        self.help = help_text
-        self.label = label
-        self._values: dict[str, float] = {}
-
-    def inc(self, label_value: str, amount: float = 1.0) -> None:
-        self._values[label_value] = self._values.get(label_value, 0.0) \
-            + amount
-
-    def value(self, label_value: str) -> float:
-        return self._values.get(label_value, 0.0)
-
-    @property
-    def total(self) -> float:
-        return sum(self._values.values())
-
-    def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}",
-                 f"# TYPE {self.name} counter"]
-        for label_value in sorted(self._values):
-            lines.append(
-                f'{self.name}{{{self.label}="{_escape_label(label_value)}"}}'
-                f" {_format_value(self._values[label_value])}")
-        return lines
-
-
-class Gauge:
-    """Value that goes up and down (in-flight requests)."""
-
-    __slots__ = ("name", "help", "_value")
-
-    def __init__(self, name: str, help_text: str) -> None:
-        self.name = name
-        self.help = help_text
-        self._value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
-
-    def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
-
-    def set(self, value: float) -> None:
-        self._value = value
-
-    @property
-    def value(self) -> float:
-        return self._value
-
-    def render(self) -> list[str]:
-        return [f"# HELP {self.name} {self.help}",
-                f"# TYPE {self.name} gauge",
-                f"{self.name} {_format_value(self._value)}"]
-
-
-class Histogram:
-    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
-
-    __slots__ = ("name", "help", "buckets", "_counts", "_sum", "_count")
-
-    def __init__(self, name: str, help_text: str,
-                 buckets: Iterable[float] = LATENCY_BUCKETS) -> None:
-        self.name = name
-        self.help = help_text
-        self.buckets = tuple(sorted(buckets))
-        self._counts = [0] * len(self.buckets)
-        self._sum = 0.0
-        self._count = 0
-
-    def observe(self, value: float) -> None:
-        self._sum += value
-        self._count += 1
-        # Per-bucket tallies; render() turns them cumulative.
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._counts[i] += 1
-                break
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def sum(self) -> float:
-        return self._sum
-
-    def render(self) -> list[str]:
-        lines = [f"# HELP {self.name} {self.help}",
-                 f"# TYPE {self.name} histogram"]
-        cumulative = 0
-        for bound, bucket_count in zip(self.buckets, self._counts):
-            cumulative += bucket_count
-            lines.append(f'{self.name}_bucket{{le="{_format_value(bound)}"}}'
-                         f" {cumulative}")
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
-        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
-        lines.append(f"{self.name}_count {self._count}")
-        return lines
+from repro.obs.registry import (  # noqa: F401  (compat re-exports)
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    MetricsRegistry,
+    _escape_label,
+    _format_value,
+)
 
 
 class ServeMetrics:
     """The experiment server's instrument panel."""
 
-    def __init__(self) -> None:
-        self.requests = LabeledCounter(
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.requests = self.registry.labeled_counter(
             "repro_serve_requests_total",
             "HTTP requests received, by endpoint.", "endpoint")
-        self.responses = LabeledCounter(
+        self.responses = self.registry.labeled_counter(
             "repro_serve_responses_total",
             "HTTP responses sent, by status code.", "code")
-        self.hits = Counter(
+        self.hits = self.registry.counter(
             "repro_serve_cache_hits_total",
             "Requests answered read-only from the result cache.")
-        self.misses = Counter(
+        self.misses = self.registry.counter(
             "repro_serve_cache_misses_total",
             "Requests that required a simulation submission.")
-        self.coalesced = Counter(
+        self.coalesced = self.registry.counter(
             "repro_serve_coalesced_total",
             "Requests folded into an identical in-flight request.")
-        self.shed = Counter(
+        self.shed = self.registry.counter(
             "repro_serve_shed_total",
             "Requests refused by admission control (429).")
-        self.timeouts = Counter(
+        self.timeouts = self.registry.counter(
             "repro_serve_timeouts_total",
             "Requests whose simulation exceeded the request timeout.")
-        self.failures = Counter(
+        self.failures = self.registry.counter(
             "repro_serve_failures_total",
             "Requests whose simulation failed.")
-        self.in_flight = Gauge(
+        self.in_flight = self.registry.gauge(
             "repro_serve_in_flight",
             "Requests currently being handled.")
-        self.latency = Histogram(
+        self.latency = self.registry.histogram(
             "repro_serve_request_seconds",
             "Wall-clock request latency in seconds.")
 
     def render(self) -> str:
-        """The full ``/metrics`` exposition."""
-        instruments = (self.requests, self.responses, self.hits,
-                       self.misses, self.coalesced, self.shed,
-                       self.timeouts, self.failures, self.in_flight,
-                       self.latency)
-        lines: list[str] = []
-        for instrument in instruments:
-            lines.extend(instrument.render())
-        return "\n".join(lines) + "\n"
+        """The panel's exposition (without the default registry)."""
+        return self.registry.render_prometheus()

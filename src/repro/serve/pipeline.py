@@ -30,6 +30,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Callable
 
 from repro.jobs import (
@@ -39,6 +40,9 @@ from repro.jobs import (
     ResultCache,
     RunManifest,
 )
+from repro.obs import get_logger
+from repro.obs.registry import default_registry
+from repro.obs.tracing import TraceContext, current_context, span, use_context
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServeMetrics
 
@@ -52,6 +56,15 @@ STATUS_FAILED = "failed"
 STATUS_PREFLIGHT = "preflight-failed"
 
 RunnerFactory = Callable[[], JobRunner]
+
+#: EMA weight of the newest drain-rate observation (see
+#: :meth:`RequestPipeline.retry_after_seconds`).
+_DRAIN_EMA_ALPHA = 0.25
+#: Bounds on the derived ``Retry-After`` advice (seconds).
+RETRY_AFTER_MIN = 1.0
+RETRY_AFTER_MAX = 30.0
+
+_log = get_logger("serve")
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +92,10 @@ class _Entry:
     key: str
     spec: JobSpec
     future: "asyncio.Future[Resolution]"
+    #: Trace context captured at admission.  Executors do not copy
+    #: contextvars, so the worker re-enters it by hand
+    #: (:func:`repro.obs.tracing.use_context`) before running the batch.
+    ctx: TraceContext | None = None
 
 
 class RequestPipeline:
@@ -108,6 +125,9 @@ class RequestPipeline:
             maxsize=config.queue_depth)
         self._workers: list[asyncio.Task] = []
         self._executor: ThreadPoolExecutor | None = None
+        #: EMA of observed batch drain rate (requests/second); 0 until
+        #: the first batch completes.
+        self._drain_rate = 0.0
 
     def _default_runner(self) -> JobRunner:
         return JobRunner(cache=self.cache, jobs=self.config.jobs,
@@ -148,7 +168,8 @@ class RequestPipeline:
 
         # 1. Read-only cache fast path: no lock, no queue, no manifest.
         if self.cache is not None:
-            cached = self.cache.get_or_none(key)
+            with span("serve.cache_probe", key=key):
+                cached = self.cache.get_or_none(key)
             if cached is not None:
                 self.metrics.hits.inc()
                 return Resolution(key=key, status=STATUS_HIT, result=cached)
@@ -160,7 +181,8 @@ class RequestPipeline:
         leader = self._inflight.get(key)
         if leader is not None:
             self.metrics.coalesced.inc()
-            resolution = await asyncio.shield(leader)
+            with span("serve.coalesce", key=key):
+                resolution = await asyncio.shield(leader)
             if resolution.status in (STATUS_COMPUTED, STATUS_HIT):
                 return replace(resolution, status=STATUS_COALESCED)
             return resolution
@@ -168,14 +190,18 @@ class RequestPipeline:
         # 3. Admission control: a full queue sheds instead of queuing.
         future: asyncio.Future[Resolution] = (
             asyncio.get_running_loop().create_future())
-        entry = _Entry(key=key, spec=spec, future=future)
+        entry = _Entry(key=key, spec=spec, future=future,
+                       ctx=current_context())
         try:
             self._queue.put_nowait(entry)
         except asyncio.QueueFull:
             self.metrics.shed.inc()
+            retry_after = self.retry_after_seconds()
+            _log.warning("request shed: queue full",
+                         extra={"key": key, "retry_after": retry_after})
             resolution = Resolution(
                 key=key, status=STATUS_SHED, result=None,
-                error="queue full", retry_after=self.config.retry_after)
+                error="queue full", retry_after=retry_after)
             future.set_result(resolution)  # nobody else can be waiting
             return resolution
 
@@ -208,11 +234,26 @@ class RequestPipeline:
         runner = self._runner_factory()
         specs = [entry.spec for entry in batch]
         loop = asyncio.get_running_loop()
+        # A batch serves up to max_batch independent requests but is one
+        # unit of work; its span joins the first admitted request's
+        # trace (re-entered by hand — executors don't copy contextvars).
+        ctx = next((e.ctx for e in batch if e.ctx is not None), None)
+
+        def call() -> list[JobResolution]:
+            with use_context(ctx):
+                with span("serve.batch", batch_size=len(batch),
+                          keys=[e.key for e in batch]):
+                    return runner.resolve(specs)
+
+        started = perf_counter()
         try:
             resolutions = await asyncio.wait_for(
-                loop.run_in_executor(self._executor, runner.resolve, specs),
+                loop.run_in_executor(self._executor, call),
                 timeout=self.config.request_timeout)
         except asyncio.TimeoutError:
+            _log.warning("batch timed out",
+                         extra={"batch_size": len(batch),
+                                "timeout": self.config.request_timeout})
             self._finish(batch, [
                 Resolution(key=entry.key, status=STATUS_TIMEOUT, result=None,
                            error=f"no result within "
@@ -220,12 +261,48 @@ class RequestPipeline:
                 for entry in batch])
             return
         except Exception as exc:  # runner bug: fail the batch, not the server
+            _log.error("batch failed",
+                       extra={"batch_size": len(batch), "error": str(exc)})
             self._finish(batch, [
                 Resolution(key=entry.key, status=STATUS_FAILED, result=None,
                            error=f"{type(exc).__name__}: {exc}")
                 for entry in batch])
             return
+        elapsed = perf_counter() - started
+        self._observe_drain(len(batch), elapsed)
+        default_registry().histogram(
+            "repro_serve_batch_seconds",
+            "Wall-clock latency of one JobRunner batch submission."
+        ).observe(elapsed, exemplar=batch[0].key)
         self._finish(batch, [self._from_job(r) for r in resolutions])
+
+    # -- adaptive Retry-After -----------------------------------------
+
+    def _observe_drain(self, completed: int, elapsed: float) -> None:
+        """Fold one completed batch into the drain-rate EMA."""
+        if completed <= 0 or elapsed <= 0:
+            return
+        rate = completed / elapsed
+        if self._drain_rate <= 0:
+            self._drain_rate = rate
+        else:
+            self._drain_rate = (_DRAIN_EMA_ALPHA * rate
+                                + (1 - _DRAIN_EMA_ALPHA) * self._drain_rate)
+
+    def retry_after_seconds(self) -> float:
+        """Back-off advice for shed requests, from observed drain rate.
+
+        Estimates how long the current backlog (plus the shed request
+        itself) takes to drain at the EMA rate, clamped to
+        ``[RETRY_AFTER_MIN, RETRY_AFTER_MAX]``.  Before any batch has
+        completed there is no observation to derive from, so the
+        configured static ``retry_after`` is advertised unchanged.
+        """
+        if self._drain_rate <= 0:
+            return self.config.retry_after
+        backlog = self._queue.qsize() + 1
+        estimate = backlog / self._drain_rate
+        return min(RETRY_AFTER_MAX, max(RETRY_AFTER_MIN, estimate))
 
     def _from_job(self, resolution: JobResolution) -> Resolution:
         """Map a jobs-layer resolution into a pipeline resolution."""

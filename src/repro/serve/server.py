@@ -33,6 +33,9 @@ from time import perf_counter
 
 from repro.errors import ServeRequestError
 from repro.jobs import JobSpec, PolicySpec, ResultCache, app_result_from_dict
+from repro.obs import get_logger
+from repro.obs.registry import default_registry
+from repro.obs.tracing import span
 from repro.serve import schema
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
@@ -56,6 +59,8 @@ from repro.serve.pipeline import (
 )
 
 _SERVED = (STATUS_HIT, STATUS_COMPUTED, STATUS_COALESCED)
+
+_log = get_logger("serve")
 
 
 class _Reply(Exception):
@@ -199,19 +204,28 @@ class ExperimentServer:
         started = perf_counter()
         raw: bytes | None = None
         headers: dict[str, str] = {}
-        try:
-            status, payload, headers, raw = await self._dispatch(request)
-        except _Reply as reply:
-            status, payload, headers = (reply.status, reply.payload,
-                                        reply.headers)
-        except ServeRequestError as exc:
-            status, payload = 400, {"error": str(exc)}
-        except Exception as exc:  # never let a handler kill the server
-            status, payload = 500, {
-                "error": f"{type(exc).__name__}: {exc}"}
-        finally:
-            self.metrics.in_flight.dec()
-            self.metrics.latency.observe(perf_counter() - started)
+        with span("serve.request", endpoint=endpoint,
+                  method=request.method) as ctx:
+            try:
+                status, payload, headers, raw = \
+                    await self._dispatch(request)
+            except _Reply as reply:
+                status, payload, headers = (reply.status, reply.payload,
+                                            reply.headers)
+            except ServeRequestError as exc:
+                status, payload = 400, {"error": str(exc)}
+            except Exception as exc:  # never let a handler kill the server
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"}
+            finally:
+                self.metrics.in_flight.dec()
+                elapsed = perf_counter() - started
+                self.metrics.latency.observe(elapsed)
+            _log.info("request",
+                      extra={"endpoint": endpoint, "status": status,
+                             "duration_ms": round(elapsed * 1e3, 3),
+                             "key": payload.get("key", "")})
+        headers = dict(headers, **{"X-Repro-Trace-Id": ctx.trace_id})
         self.metrics.responses.inc(str(status))
         return status, payload, headers, raw
 
@@ -227,7 +241,12 @@ class ExperimentServer:
         if path == "/healthz" and method == "GET":
             return 200, self._health_payload(), {}, None
         if path == "/metrics" and method == "GET":
-            return 200, {}, {}, self.metrics.render().encode("utf-8")
+            # The server's own panel first (byte-identical to the
+            # pre-obs exposition), then whatever the jobs / FDT / bench
+            # layers registered into the process-global registry.
+            text = self.metrics.render() + \
+                default_registry().render_prometheus()
+            return 200, {}, {}, text.encode("utf-8")
         if path.startswith("/v1/result/") and method == "GET":
             return self._handle_result(path)
         if path in ("/v1/run", "/v1/sweep", "/v1/fdt"):
@@ -269,14 +288,16 @@ class ExperimentServer:
 
     async def _handle_run(self, body: dict
                           ) -> tuple[int, dict, dict[str, str], bytes | None]:
-        spec = schema.parse_run_request(body)
+        with span("serve.schema", endpoint="/v1/run"):
+            spec = schema.parse_run_request(body)
         resolution = await self.pipeline.resolve(spec)
         payload = self._run_payload(spec, resolution)
         return 200, payload, {}, None
 
     async def _handle_fdt(self, body: dict
                           ) -> tuple[int, dict, dict[str, str], bytes | None]:
-        spec = schema.parse_fdt_request(body)
+        with span("serve.schema", endpoint="/v1/fdt"):
+            spec = schema.parse_fdt_request(body)
         resolution = await self.pipeline.resolve(spec)
         self._raise_unserved(spec, resolution)
         assert resolution.result is not None
@@ -303,7 +324,8 @@ class ExperimentServer:
     async def _handle_sweep(self, body: dict
                             ) -> tuple[int, dict, dict[str, str],
                                        bytes | None]:
-        workload, counts, config = schema.parse_sweep_request(body)
+        with span("serve.schema", endpoint="/v1/sweep"):
+            workload, counts, config = schema.parse_sweep_request(body)
         specs = [JobSpec(workload=workload, policy=PolicySpec.static(t),
                          config=config)
                  for t in counts]
@@ -334,10 +356,14 @@ class ExperimentServer:
         base = {"key": resolution.key, "status": resolution.status,
                 "error": resolution.error}
         if resolution.status == STATUS_SHED:
+            # The pipeline derives the back-off from the queue's
+            # observed drain rate; before any observation it falls back
+            # to the configured static value.
+            retry_after = resolution.retry_after or self.config.retry_after
             raise _Reply(
                 429, dict(base, error="shed by admission control: "
                           + resolution.error),
-                {"Retry-After": f"{self.config.retry_after:g}"})
+                {"Retry-After": f"{retry_after:g}"})
         if resolution.status == STATUS_TIMEOUT:
             # The spec key is in the body: the computation was
             # abandoned, not cancelled, so the client can poll

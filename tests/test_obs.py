@@ -1,0 +1,537 @@
+"""Tests for :mod:`repro.obs`: registry thread-safety, span tracing and
+propagation, structured logging, the persistent run registry (including
+process-restart round-trips and the ``repro obs`` CLI), the
+drain-rate-derived ``Retry-After``, and the manifest/loadgen satellite
+changes."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import logging
+import os
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime
+
+import pytest
+
+from repro import cli
+from repro.jobs import JobRunner, JobSpec, PolicySpec, ResultCache, WorkloadRef
+from repro.jobs.manifest import ManifestEntry, RunManifest
+from repro.obs import (
+    configure_logging,
+    default_registry,
+    get_logger,
+    host_fingerprint,
+    reset_default_registry,
+)
+from repro.obs.log import configure_from_env
+from repro.obs.registry import Counter, Histogram, MetricsRegistry
+from repro.obs.runreg import RunRecord, RunRegistry
+from repro.obs.tracing import (
+    SpanRecorder,
+    current_context,
+    read_spans_jsonl,
+    recorder,
+    span,
+    spans_jsonl,
+    spans_to_perfetto,
+    use_context,
+)
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import LoadgenReport
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pipeline import (
+    RETRY_AFTER_MAX,
+    RETRY_AFTER_MIN,
+    RequestPipeline,
+)
+from repro.sim.config import MachineConfig
+
+
+def _synthetic_spec(iterations: int = 8, threads: int = 2,
+                    policy: str | None = None) -> JobSpec:
+    pol = (PolicySpec(kind=policy) if policy is not None
+           else PolicySpec.static(threads))
+    return JobSpec(
+        workload=WorkloadRef.synthetic(cs_fraction=0.2, bus_lines=2,
+                                       iterations=iterations,
+                                       compute_instr=200),
+        policy=pol,
+        config=MachineConfig.small())
+
+
+# -- metrics registry -------------------------------------------------
+
+def test_registry_concurrent_counters_exact_totals():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "c")
+    labeled = registry.labeled_counter("l_total", "l", "kind")
+    gauge = registry.gauge("g", "g")
+    threads, per_thread = 8, 500
+
+    def hammer(i: int) -> None:
+        for _ in range(per_thread):
+            counter.inc()
+            labeled.inc("a" if i % 2 else "b")
+            gauge.inc()
+            gauge.dec()
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(hammer, range(threads)))
+    assert counter.value == threads * per_thread
+    assert labeled.total == threads * per_thread
+    assert labeled.value("a") == labeled.value("b") == \
+        threads * per_thread // 2
+    assert gauge.value == 0
+
+
+def test_registry_concurrent_histogram_exact_totals():
+    hist = Histogram("h", "h", buckets=(0.5, 1.5, 2.5))
+    threads, per_thread = 8, 400
+
+    def hammer(i: int) -> None:
+        for j in range(per_thread):
+            hist.observe(float(j % 3), exemplar=f"t{i}")
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(hammer, range(threads)))
+    total = threads * per_thread
+    assert hist.count == total
+    assert hist.sum == pytest.approx(
+        threads * sum(j % 3 for j in range(per_thread)))
+    rendered = "\n".join(hist.render())
+    assert f'h_bucket{{le="+Inf"}} {total}' in rendered
+    assert f'h_bucket{{le="2.5"}} {total}' in rendered
+    assert hist.exemplars  # last writer per bucket retained
+
+
+def test_registry_get_or_create_is_idempotent_and_kind_checked():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "x")
+    assert registry.counter("x_total", "ignored") is a
+    with pytest.raises(ValueError, match="already registered as"):
+        registry.gauge("x_total", "x")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(Counter("x_total", "dup"))
+    assert len(registry) == 1
+
+
+def test_registry_render_orders_by_registration():
+    registry = MetricsRegistry()
+    registry.gauge("zz", "last registered first rendered? no")
+    registry.counter("aa_total", "registered second")
+    text = registry.render_prometheus()
+    assert text.index("zz") < text.index("aa_total")
+    assert text.endswith("\n")
+    assert MetricsRegistry().render_prometheus() == ""
+
+
+def test_reset_default_registry_gives_clean_slate():
+    default_registry().counter("tmp_total", "t").inc()
+    fresh = reset_default_registry()
+    assert fresh is default_registry()
+    assert fresh.get("tmp_total") is None
+
+
+def test_serve_metrics_render_matches_pre_refactor_exposition():
+    """The panel's /metrics text is byte-identical to the pre-obs
+    renderer for the same updates (schema-compatibility guarantee)."""
+    metrics = ServeMetrics()
+    metrics.requests.inc("/v1/run")
+    metrics.hits.inc()
+    metrics.in_flight.set(2)
+    metrics.latency.observe(0.002)
+    text = metrics.render()
+    lines = text.splitlines()
+    # Families appear in the fixed pre-refactor order.
+    type_lines = [ln.split() for ln in lines if ln.startswith("# TYPE")]
+    assert [parts[2] for parts in type_lines] == [
+        "repro_serve_requests_total", "repro_serve_responses_total",
+        "repro_serve_cache_hits_total", "repro_serve_cache_misses_total",
+        "repro_serve_coalesced_total", "repro_serve_shed_total",
+        "repro_serve_timeouts_total", "repro_serve_failures_total",
+        "repro_serve_in_flight", "repro_serve_request_seconds"]
+    assert [parts[3] for parts in type_lines][:2] == ["counter", "counter"]
+    assert 'repro_serve_requests_total{endpoint="/v1/run"} 1' in lines
+    assert "repro_serve_in_flight 2" in lines
+    assert text.endswith("\n")
+
+
+# -- span tracing -----------------------------------------------------
+
+def test_span_nesting_parent_ids_and_trace_id():
+    recorder().clear()
+    with span("outer", layer="test") as outer_ctx:
+        assert current_context() is outer_ctx
+        with span("inner") as inner_ctx:
+            assert inner_ctx.trace_id == outer_ctx.trace_id
+            assert inner_ctx.parent_id == outer_ctx.span_id
+    assert current_context() is None
+    spans = recorder().spans(trace_id=outer_ctx.trace_id)
+    by_name = {s.name: s for s in spans}
+    assert set(by_name) == {"outer", "inner"}
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["outer"].parent_id == ""
+    assert by_name["outer"].attrs == {"layer": "test"}
+    assert by_name["outer"].end >= by_name["outer"].start
+
+
+def test_span_propagates_across_thread_with_use_context():
+    recorder().clear()
+    with span("parent") as ctx:
+        def worker():
+            with use_context(ctx):
+                with span("child"):
+                    pass
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(worker).result()
+    child = recorder().spans(trace_id=ctx.trace_id, name="child")
+    assert len(child) == 1
+    assert child[0].parent_id == ctx.span_id
+
+
+def test_span_does_not_leak_into_plain_executor_threads():
+    with span("parent"):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(current_context).result() is None
+
+
+def test_span_records_error_status_and_reraises():
+    recorder().clear()
+    with pytest.raises(ValueError):
+        with span("boom") as ctx:
+            raise ValueError("no")
+    failed = recorder().spans(trace_id=ctx.trace_id, name="boom")
+    assert failed[0].status == "error"
+
+
+def test_span_jsonl_round_trip_and_sink(tmp_path):
+    local = SpanRecorder()
+    local.set_sink(tmp_path / "spans.jsonl")
+    recorder().clear()
+    with span("one", key="k"):
+        pass
+    spans = recorder().spans(name="one")
+    for s in spans:
+        local.record(s)
+    parsed = read_spans_jsonl(tmp_path / "spans.jsonl")
+    assert [s.to_dict() for s in parsed] == [s.to_dict() for s in spans]
+    text = spans_jsonl(spans)
+    assert json.loads(text.splitlines()[0])["name"] == "one"
+
+
+def test_spans_to_perfetto_structure():
+    recorder().clear()
+    with span("outer") as ctx:
+        with span("inner"):
+            pass
+    doc = spans_to_perfetto(recorder().spans(trace_id=ctx.trace_id))
+    events = doc["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in complete} == {"outer", "inner"}
+    assert all(e["ts"] >= 0 for e in complete)
+    assert any(e["ph"] == "M" for e in events)
+    assert spans_to_perfetto([]) == {
+        "traceEvents": [], "displayTimeUnit": "ms",
+        "otherData": {"tool": "repro.obs",
+                      "time_unit": "1 viewer us = 1 host us"}}
+
+
+# -- structured logging -----------------------------------------------
+
+def test_json_logging_carries_trace_ids_and_extras():
+    stream = io.StringIO()
+    configure_logging(level="INFO", json_lines=True, stream=stream,
+                      export_env=False)
+    try:
+        log = get_logger("serve")
+        with span("req") as ctx:
+            log.info("request", extra={"endpoint": "/v1/run", "status": 200})
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["msg"] == "request"
+        assert doc["logger"] == "repro.serve"
+        assert doc["level"] == "INFO"
+        assert doc["trace_id"] == ctx.trace_id
+        assert doc["span_id"]
+        assert doc["endpoint"] == "/v1/run"
+        assert doc["status"] == 200
+        datetime.fromisoformat(doc["ts"])  # parses
+    finally:
+        configure_logging(level="WARNING", export_env=False)
+
+
+def test_human_logging_renders_extras():
+    stream = io.StringIO()
+    configure_logging(level="DEBUG", json_lines=False, stream=stream,
+                      export_env=False)
+    try:
+        get_logger("jobs").debug("resolved", extra={"key": "abc"})
+        line = stream.getvalue()
+        assert "repro.jobs" in line and "resolved" in line
+        assert "key=abc" in line
+    finally:
+        configure_logging(level="WARNING", export_env=False)
+
+
+def test_configure_exports_env_and_workers_inherit(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+    monkeypatch.delenv("REPRO_LOG_JSON", raising=False)
+    assert configure_from_env() is None  # no-op when unset
+    configure_logging(level="INFO", json_lines=True)
+    assert os.environ["REPRO_LOG_LEVEL"] == "INFO"
+    assert os.environ["REPRO_LOG_JSON"] == "1"
+    root = configure_from_env()  # what a pool worker does
+    assert root is not None
+    assert root.level == logging.INFO
+    configure_logging(level="WARNING", export_env=False)
+
+
+# -- persistent run registry ------------------------------------------
+
+def _record(key: str = "a" * 64, status: str = "computed",
+            **overrides) -> RunRecord:
+    base = dict(
+        key=key, workload="synthetic", policy="static-2", status=status,
+        backend="serial", wall_time=0.25,
+        started_at="2026-08-07T00:00:00+00:00",
+        finished_at="2026-08-07T00:00:01+00:00",
+        schema_version=2, host=host_fingerprint(),
+        trace_id="t1", trace_path="", error="",
+        fdt=[{"kernel": "k", "threads": 4}])
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def test_run_registry_round_trip_survives_restart(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.append(_record())
+    registry.append(_record(status="hit", wall_time=0.0))
+    # A fresh instance (a new process, as far as the JSONL file is
+    # concerned) sees identical rows.
+    reopened = RunRegistry(tmp_path)
+    rows = reopened.records()
+    assert [r.to_dict() for r in rows] == \
+        [r.to_dict() for r in registry.records()]
+    assert len(rows) == 2
+    assert rows[0].fdt == [{"kernel": "k", "threads": 4}]
+    assert rows[1].status == "hit"
+
+
+def test_run_registry_get_prefix_tail_and_report(tmp_path):
+    registry = RunRegistry(tmp_path)
+    key1, key2 = "abc" + "0" * 61, "def" + "0" * 61
+    registry.append(_record(key=key1))
+    registry.append(_record(key=key2, status="failed", error="boom"))
+    registry.append(_record(key=key1, status="hit"))
+    assert registry.get("abc").status == "hit"  # latest row wins
+    assert registry.get("nope") is None
+    assert len(registry.history(key1)) == 2
+    assert [r.key for r in registry.tail(2)] == [key2, key1]
+    report = registry.report()
+    assert report["rows"] == 3
+    assert report["unique_keys"] == 2
+    assert report["by_status"] == {"computed": 1, "failed": 1, "hit": 1}
+    assert report["hit_rate"] == pytest.approx(0.5)
+    assert report["computed_wall_time_total"] == pytest.approx(0.25)
+
+
+def test_run_registry_skips_torn_lines(tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.append(_record())
+    with open(registry.path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn...')  # crash mid-write
+    assert len(RunRegistry(tmp_path).records()) == 1
+
+
+def test_job_runner_writes_provenance_rows():
+    reset_default_registry()
+    cache = ResultCache(None)
+    spec = _synthetic_spec()
+    runner = JobRunner(cache=cache)
+    runner.run_one(spec)
+    runner.run_one(spec)  # memo hit
+    rows = runner.run_registry.records()
+    assert [r.status for r in rows] == ["computed", "hit"]
+    row = rows[0]
+    assert row.key == spec.key()
+    assert row.workload == spec.workload.label
+    assert row.schema_version == 2
+    assert row.host == host_fingerprint()
+    # Timestamps are ISO-8601 and ordered.
+    assert datetime.fromisoformat(row.started_at) <= \
+        datetime.fromisoformat(row.finished_at)
+    assert row.fdt and row.fdt[0]["threads"] == 2
+    # The registry rides under the cache root, so `repro obs` finds it.
+    assert str(runner.run_registry.path).startswith(str(cache.root))
+    # And the default-registry instruments moved with it.
+    lookups = default_registry().get("repro_jobs_cache_total")
+    assert lookups.value("hit") == 1
+    assert lookups.value("miss") == 1
+    resolutions = default_registry().get("repro_jobs_resolutions_total")
+    assert resolutions.value("computed") == 1
+    assert resolutions.value("hit") == 1
+
+
+def test_fdt_job_records_decision_and_estimates():
+    reset_default_registry()
+    runner = JobRunner(cache=ResultCache(None))
+    spec = _synthetic_spec(iterations=24, policy="fdt")
+    runner.run_one(spec)
+    row = runner.run_registry.get(spec.key())
+    assert row is not None and row.status == "computed"
+    assert row.fdt, "FDT decision missing from provenance row"
+    decision = row.fdt[0]
+    assert decision["threads"] >= 1
+    assert "estimates" in decision
+    # The decision also published to the shared registry.
+    decisions = default_registry().get("repro_fdt_decisions_total")
+    assert decisions is not None and decisions.total >= 1
+    chosen = default_registry().get("repro_fdt_chosen_threads")
+    assert chosen is not None and chosen.count >= 1
+    assert default_registry().get("repro_fdt_p_fdt") is not None
+
+
+def test_obs_cli_list_show_tail_report(capsys):
+    runner = JobRunner(cache=ResultCache(None))
+    spec = _synthetic_spec()
+    runner.run_one(spec)
+    key = spec.key()
+
+    assert cli.main(["obs", "list"]) == 0
+    out = capsys.readouterr().out
+    assert key[:12] in out and "computed" in out
+
+    assert cli.main(["obs", "show", key[:10]]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["key"] == key
+    assert doc["status"] == "computed"
+    assert doc["resolutions"] == 1
+    assert doc["host"] == host_fingerprint()
+
+    assert cli.main(["obs", "tail", "-n", "1", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1 and rows[0]["key"] == key
+
+    assert cli.main(["obs", "report", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["rows"] == 1
+    assert report["by_status"] == {"computed": 1}
+
+    assert cli.main(["obs", "show", "feedbeef"]) == 1
+    assert "no run registered" in capsys.readouterr().err
+
+
+def test_obs_cli_list_filters(capsys, tmp_path):
+    registry = RunRegistry(tmp_path)
+    registry.append(_record(key="a" * 64))
+    registry.append(_record(key="b" * 64, status="failed"))
+    assert cli.main(["obs", "list", "--dir", str(tmp_path),
+                     "--status", "failed", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert [r["status"] for r in rows] == ["failed"]
+
+
+def test_bench_fingerprint_matches_obs_fingerprint():
+    from repro.bench.harness import host_fingerprint as bench_fingerprint
+    assert bench_fingerprint() == host_fingerprint()
+
+
+# -- satellite: manifest timestamps -----------------------------------
+
+def test_manifest_entries_carry_iso_timestamps():
+    runner = JobRunner(cache=None)
+    runner.run_one(_synthetic_spec())
+    entry = runner.manifest.entries[-1]
+    started = datetime.fromisoformat(entry.started_at)
+    finished = datetime.fromisoformat(entry.finished_at)
+    assert started.tzinfo is not None
+    assert started <= finished
+    doc = runner.manifest.to_dict()
+    assert doc["started_at"] == entry.started_at
+    assert doc["finished_at"] == entry.finished_at
+    assert doc["entries"][-1]["started_at"] == entry.started_at
+    # The counts contract is untouched (CI compares it exactly).
+    assert set(doc["counts"]) == {"total", "hits", "computed", "failed",
+                                  "timeouts"}
+
+
+def test_manifest_timestamps_empty_for_unstamped_entries():
+    manifest = RunManifest()
+    manifest.record(ManifestEntry(key="k", workload="w", policy="p",
+                                  status="hit", backend="memo"))
+    assert manifest.started_at == ""
+    assert manifest.to_dict()["finished_at"] == ""
+
+
+# -- satellite: drain-rate Retry-After --------------------------------
+
+def _pipeline(retry_after: float = 2.5,
+              queue_depth: int = 4) -> RequestPipeline:
+    config = ServeConfig(retry_after=retry_after, queue_depth=queue_depth)
+    return RequestPipeline(config, ServeMetrics(), cache=None)
+
+
+def test_retry_after_falls_back_to_config_before_observations():
+    pipeline = _pipeline(retry_after=2.5)
+    assert pipeline.retry_after_seconds() == 2.5
+
+
+def test_retry_after_derives_from_drain_rate():
+    async def scenario():
+        pipeline = _pipeline()
+        # 8 requests drained in 2s -> 4 rps; backlog of 1 -> 0.25s,
+        # clamped up to the 1s floor.
+        pipeline._observe_drain(8, 2.0)
+        assert pipeline.retry_after_seconds() == RETRY_AFTER_MIN
+        # A crawling pipeline clamps at the ceiling.
+        crawling = _pipeline()
+        crawling._observe_drain(1, 1000.0)
+        assert crawling.retry_after_seconds() == RETRY_AFTER_MAX
+
+    asyncio.run(scenario())
+
+
+def test_retry_after_scales_with_backlog():
+    async def scenario():
+        pipeline = _pipeline(queue_depth=8)
+        pipeline._observe_drain(2, 2.0)  # 1 rps
+        baseline = pipeline.retry_after_seconds()
+        for i in range(6):
+            await pipeline._queue.put(object())
+        assert pipeline.retry_after_seconds() > baseline
+        assert pipeline.retry_after_seconds() == pytest.approx(7.0)
+
+    asyncio.run(scenario())
+
+
+def test_drain_rate_is_an_ema_not_last_sample():
+    async def scenario():
+        pipeline = _pipeline()
+        pipeline._observe_drain(10, 1.0)   # 10 rps
+        pipeline._observe_drain(1, 1.0)    # momentary 1 rps blip
+        # EMA keeps most of the history: 0.25*1 + 0.75*10 = 7.75 rps.
+        assert pipeline._drain_rate == pytest.approx(7.75)
+        pipeline._observe_drain(0, 1.0)    # ignored
+        pipeline._observe_drain(1, 0.0)    # ignored
+        assert pipeline._drain_rate == pytest.approx(7.75)
+
+    asyncio.run(scenario())
+
+
+# -- satellite: loadgen --json counts ---------------------------------
+
+def test_loadgen_report_json_counts():
+    report = LoadgenReport(target_rps=10.0, duration=1.0, sent=10,
+                           completed=8, errors=2, elapsed=1.25)
+    report.status_codes = {"200": 5, "429": 2, "500": 1}
+    report.outcomes = {"hit": 3, "coalesced": 1, "computed": 1}
+    report.latencies = sorted([0.01] * 8)
+    doc = report.to_dict()
+    assert doc["hits"] == 4
+    assert doc["shed"] == 2
+    assert doc["error_5xx"] == 1
+    assert doc["elapsed"] == pytest.approx(1.25)
+    assert set(doc["latency_ms"]) == {"p50", "p95", "p99"}
+    assert doc["completed"] == 8 and doc["errors"] == 2
