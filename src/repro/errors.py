@@ -50,6 +50,15 @@ class JobError(ReproError):
     """
 
 
+class FaultError(ReproError):
+    """A fault-injection plan is malformed or a chaos run misconfigured.
+
+    Raised by :mod:`repro.faults` for invalid plans; never raised *by*
+    an injected fault (those surface as the host-layer exceptions the
+    site would see from a real failure).
+    """
+
+
 class ServeError(ReproError):
     """The experiment server (:mod:`repro.serve`) hit a fatal condition."""
 

@@ -18,12 +18,19 @@ is a structural property, not an accident of which path ran.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from datetime import datetime, timedelta, timezone
 from typing import Any, Sequence
 
 from repro.errors import JobError
 from repro.fdt.runner import AppRunResult
+from repro.jobs.backoff import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_CAP,
+    DEFAULT_RETRY_BUDGET,
+    backoff_delay,
+)
 from repro.jobs.cache import ResultCache
 from repro.jobs.executor import STATUS_TIMEOUT, execute_jobs
 from repro.jobs.manifest import ManifestEntry, RunManifest
@@ -118,6 +125,13 @@ class JobRunner:
             spec.  Defaults to ``<cache root>/obs`` (or the global
             default location when running cache-less), so ``repro obs``
             finds the rows next to the results they describe.
+        retry_budget: extra submissions for jobs whose failure looks
+            host-transient (worker crash, I/O error — never a
+            deterministic :class:`~repro.errors.ReproError` from the
+            simulation), paced by exponential backoff with
+            deterministic jitter (:mod:`repro.jobs.backoff`).
+        backoff_base: first retry delay in seconds (doubles per round,
+            capped at ``backoff_cap``).
     """
 
     def __init__(self, cache: ResultCache | None = None, jobs: int = 1,
@@ -125,7 +139,10 @@ class JobRunner:
                  manifest: RunManifest | None = None,
                  trace_dir: str | None = None,
                  preflight: bool = False,
-                 run_registry: RunRegistry | None = None) -> None:
+                 run_registry: RunRegistry | None = None,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP) -> None:
         self.cache = cache
         self.jobs = max(1, jobs)
         self.timeout = timeout
@@ -133,10 +150,14 @@ class JobRunner:
         self.manifest = manifest if manifest is not None else RunManifest()
         self.trace_dir = trace_dir
         self.preflight = preflight
+        self.retry_budget = max(0, retry_budget)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._run_registry = run_registry
         self._host: dict | None = None
         self._memo: dict[str, dict] = {}
         self._preflight_memo: dict[str, PreflightVerdict] = {}
+        self._cache_write_failed = False
 
     @property
     def run_registry(self) -> RunRegistry:
@@ -294,9 +315,8 @@ class JobRunner:
                 return verdict
         verdict = run_preflight(spec)
         self._preflight_memo[pkey] = verdict
-        if self.cache is not None:
-            self.cache.put(pkey, {"preflight": spec.workload.to_dict()},
-                           verdict.to_dict())
+        self._store(pkey, {"preflight": spec.workload.to_dict()},
+                    verdict.to_dict())
         return verdict
 
     def _load_cached(self, key: str) -> dict | None:
@@ -316,31 +336,98 @@ class JobRunner:
     def _compute(self, misses: list[tuple[str, JobSpec]]) -> dict:
         """Execute misses; memoize, cache, and record each outcome.
 
+        Failures that look host-transient (worker crash, injected or
+        real I/O error — :attr:`JobOutcome.transient`) are resubmitted
+        up to ``retry_budget`` extra rounds, each round paced by
+        exponential backoff with deterministic jitter; deterministic
+        simulation failures are never retried (they would fail
+        identically and burn the budget for nothing).
+
         Returns the :class:`~repro.jobs.executor.JobOutcome` per key so
         callers choose their own failure policy (:meth:`run` raises,
         :meth:`resolve` reports per spec).
         """
-        outcomes = execute_jobs([spec for _, spec in misses],
-                                jobs=self.jobs, timeout=self.timeout,
-                                retries=self.retries,
-                                trace_dir=self.trace_dir)
-        by_key = {}
-        for (key, spec), outcome in zip(misses, outcomes):
-            by_key[key] = outcome
-            if outcome.ok and outcome.result is not None:
-                self._memo[key] = outcome.result
-                if self.cache is not None:
-                    self.cache.put(key, spec.to_dict(), outcome.result)
-                self._record(key, spec, status="computed",
-                             backend=outcome.backend,
-                             wall_time=outcome.wall_time,
-                             trace_path=outcome.trace_path)
-            else:
-                self._record(key, spec, status=outcome.status,
-                             backend=outcome.backend,
-                             wall_time=outcome.wall_time,
-                             error=outcome.error)
+        retry_metric = default_registry().labeled_counter(
+            "repro_jobs_retries_total",
+            "Backoff-retried transient job failures by outcome.",
+            "outcome")
+        by_key: dict[str, Any] = {}
+        pending = list(misses)
+        for attempt in range(self.retry_budget + 1):
+            if not pending:
+                break
+            if attempt > 0:
+                # One sleep per round: the longest of the pending keys'
+                # deterministic schedules (per-key sleeps would stack).
+                delay = max(backoff_delay(key, attempt,
+                                          base=self.backoff_base,
+                                          cap=self.backoff_cap)
+                            for key, _ in pending)
+                _log.warning("retrying transient failures",
+                             extra={"jobs": len(pending),
+                                    "attempt": attempt,
+                                    "delay": round(delay, 4)})
+                time.sleep(delay)
+            outcomes = execute_jobs([spec for _, spec in pending],
+                                    jobs=self.jobs, timeout=self.timeout,
+                                    retries=self.retries,
+                                    trace_dir=self.trace_dir)
+            retry_next: list[tuple[str, JobSpec]] = []
+            for (key, spec), outcome in zip(pending, outcomes):
+                if (not outcome.ok and outcome.transient
+                        and attempt < self.retry_budget):
+                    by_key[key] = outcome  # kept in case it never recovers
+                    retry_metric.inc("attempt")
+                    with span("jobs.retry", key=key, attempt=attempt + 1,
+                              error=outcome.error):
+                        pass
+                    retry_next.append((key, spec))
+                    continue
+                if attempt > 0 and outcome.ok:
+                    retry_metric.inc("recovered")
+                elif attempt > 0 and not outcome.ok:
+                    retry_metric.inc("exhausted")
+                by_key[key] = outcome
+                self._finish_outcome(key, spec, outcome)
+            pending = retry_next
         return by_key
+
+    def _finish_outcome(self, key: str, spec: JobSpec, outcome: Any) -> None:
+        """Memoize, cache, and record one terminal outcome."""
+        if outcome.ok and outcome.result is not None:
+            self._memo[key] = outcome.result
+            self._store(key, spec.to_dict(), outcome.result)
+            self._record(key, spec, status="computed",
+                         backend=outcome.backend,
+                         wall_time=outcome.wall_time,
+                         trace_path=outcome.trace_path)
+        else:
+            self._record(key, spec, status=outcome.status,
+                         backend=outcome.backend,
+                         wall_time=outcome.wall_time,
+                         error=outcome.error)
+
+    def _store(self, key: str, spec_dict: dict, result: dict) -> None:
+        """Cache a result, degrading gracefully on an unwritable store.
+
+        A failed cache write costs only warmth, never the job: the
+        result is already memoized, so the batch completes and only
+        future processes pay the recompute.  Warned once per runner.
+        """
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, spec_dict, result)
+        except OSError as exc:
+            default_registry().labeled_counter(
+                "repro_jobs_cache_total",
+                "Result lookups by outcome (memo and disk hits vs misses).",
+                "outcome").inc("write-error")
+            if not self._cache_write_failed:
+                self._cache_write_failed = True
+                _log.warning(
+                    "result cache unwritable; results stay in-memory only",
+                    extra={"key": key, "error": str(exc)})
 
     def _raise_on_failure(self, misses: list[tuple[str, JobSpec]],
                           outcomes: dict) -> None:

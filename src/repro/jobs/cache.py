@@ -14,10 +14,20 @@ migration logic.
 
 Corruption is treated as a miss, never an error: a truncated file, a
 garbage byte, a schema/key mismatch, or an unreadable entry makes
-:meth:`ResultCache.get` return ``None`` (after best-effort deletion of
-the bad file) and the caller recomputes.  Writes are atomic
-(temp file + ``os.replace``) so a crashed writer can leave at worst a
-stray temp file, never a half-written entry under the final name.
+:meth:`ResultCache.get` return ``None`` and the caller recomputes.  The
+bad file is *quarantined* — moved aside into ``<root>/quarantine/``
+(outside the versioned lookup tree, so it can never be read again),
+counted in ``repro_jobs_cache_quarantined_total`` — rather than
+silently deleted, so a chaos run or an operator can audit exactly what
+the store refused to serve.  Writes are atomic (temp file +
+``os.replace``) so a crashed writer can leave at worst a stray temp
+file, never a half-written entry under the final name.
+
+Both the read and write paths carry fault-injection hooks
+(``cache.read``, ``cache.write`` — see :mod:`repro.faults`): injected
+I/O errors flow through the same ``except OSError`` handling as real
+ones, and injected torn/corrupt payloads must be caught by the same
+validation that guards against real disk rot.
 
 Two lookup flavors exist because two callers with different contracts
 share the store.  :meth:`ResultCache.get` is the *batch* path: it may
@@ -36,7 +46,12 @@ import tempfile
 import threading
 from pathlib import Path
 
+from repro.faults import hooks as fault_hooks
 from repro.jobs.spec import SCHEMA_VERSION
+from repro.obs.registry import default_registry
+
+#: Subdirectory (under the cache root) corrupt entries are moved into.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -74,15 +89,16 @@ class ResultCache:
     def get(self, key: str) -> dict | None:
         """Return the stored result dict, or ``None`` on miss/corruption.
 
-        This is the batch path: a corrupt entry is deleted (under the
-        write lock) so the recomputed result can replace it cleanly.
+        This is the batch path: a corrupt entry is quarantined (under
+        the write lock) so the recomputed result can replace it cleanly
+        and the bad bytes can never be re-read.
         """
         result = self._read(key)
         if result is None:
             path = self.path_for(key)
             if path.exists():
                 with self._write_lock:
-                    self._discard(path)
+                    self._quarantine(path)
         return result
 
     def get_or_none(self, key: str) -> dict | None:
@@ -105,6 +121,7 @@ class ResultCache:
             "spec": spec,
             "result": result,
         }
+        fault_hooks.maybe_raise("cache.write", key=key)
         with self._write_lock:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -120,8 +137,11 @@ class ResultCache:
     def _read(self, key: str) -> dict | None:
         """Shared read: ``None`` on miss or on any malformed entry."""
         try:
-            payload = json.loads(
-                self.path_for(key).read_text(encoding="utf-8"))
+            fault_hooks.maybe_raise("cache.read", key=key)
+            text = fault_hooks.corrupt_text(
+                "cache.read", self.path_for(key).read_text(encoding="utf-8"),
+                key=key)
+            payload = json.loads(text)
         except (OSError, ValueError):
             return None
         if (not isinstance(payload, dict)
@@ -137,6 +157,43 @@ class ResultCache:
         if not version_dir.is_dir():
             return 0
         return sum(1 for _ in version_dir.glob("*/*.json"))
+
+    # -- quarantine ----------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where refused entries land (outside the lookup tree)."""
+        return self._root / QUARANTINE_DIRNAME
+
+    def quarantined_count(self) -> int:
+        """How many corrupt entries this store has moved aside."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.glob("*.json*"))
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it can never be re-read.
+
+        The destination name keeps the original file name (a numeric
+        suffix disambiguates repeat offenders), the move is a rename —
+        atomic on one filesystem — and any failure falls back to plain
+        deletion: a corrupt entry must leave the lookup tree either way.
+        """
+        dest = self.quarantine_dir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = self.quarantine_dir / f"{path.name}.{suffix}"
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            self._discard(path)
+            return
+        default_registry().counter(
+            "repro_jobs_cache_quarantined_total",
+            "Corrupt result-cache entries moved aside, never re-read."
+        ).inc()
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -32,6 +32,9 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Sequence
 
+from repro.errors import ReproError
+from repro.faults import hooks as fault_hooks
+from repro.faults.injector import configure_from_env as faults_from_env
 from repro.jobs.results import app_result_to_dict
 from repro.jobs.spec import JobSpec
 from repro.obs.log import configure_from_env
@@ -63,6 +66,12 @@ class JobOutcome:
     #: Directory the job's trace artifacts were written to ("" when the
     #: batch ran untraced or the job did not complete).
     trace_path: str = ""
+    #: Whether a failure looks host-transient (worker crash, I/O error)
+    #: rather than deterministic (a :class:`~repro.errors.ReproError`
+    #: from the simulation itself).  Only transient failures are worth
+    #: the runner's backoff-retry budget — a deadlocked workload fails
+    #: identically every time.
+    transient: bool = False
 
     @property
     def ok(self) -> bool:
@@ -100,7 +109,12 @@ def _pool_entry(spec_dict: dict, trace_dir: str | None = None) -> dict:
     """Worker-side wrapper: run the job and report its execution time."""
     # Worker processes inherit the parent's logging choice through the
     # environment (REPRO_LOG_LEVEL / REPRO_LOG_JSON); no-op if unset.
+    # An armed fault plan rides along the same way (REPRO_FAULT_PLAN).
     configure_from_env()
+    faults_from_env()
+    fault_hooks.maybe_raise(
+        "executor.job",
+        workload=str(spec_dict.get("workload", {}).get("name", "")))
     started = time.perf_counter()
     result = _run_payload(spec_dict, trace_dir)
     return {"result": result, "elapsed": time.perf_counter() - started}
@@ -117,12 +131,15 @@ def run_serial(specs: Sequence[JobSpec],
         try:
             with span("sim.run", key=key, workload=spec.workload.label,
                       policy=spec.policy.label, backend=backend):
+                fault_hooks.maybe_raise("executor.job", key=key,
+                                        workload=spec.workload.name)
                 result = _run_payload(spec.to_dict(), trace_dir)
         except Exception as exc:
             outcomes.append(JobOutcome(
                 key=key, status=STATUS_FAILED, result=None,
                 error=f"{type(exc).__name__}: {exc}",
-                wall_time=time.perf_counter() - started, backend=backend))
+                wall_time=time.perf_counter() - started, backend=backend,
+                transient=not isinstance(exc, ReproError)))
         else:
             outcomes.append(JobOutcome(
                 key=key, status=STATUS_OK, result=result,
@@ -162,6 +179,11 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
         for fut, i in futs.items():
             started = time.perf_counter()
             try:
+                # Clock-free timeout forcing: an armed plan can declare
+                # this wait expired without consuming the real budget.
+                if fault_hooks.forced_timeout("executor.timeout",
+                                              key=specs[i].key()):
+                    raise futures.TimeoutError
                 payload = fut.result(timeout=timeout)
             except futures.TimeoutError:
                 fut.cancel()
@@ -179,7 +201,8 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
                     key=specs[i].key(), status=STATUS_FAILED, result=None,
                     error=f"{type(exc).__name__}: {exc}",
                     wall_time=time.perf_counter() - started,
-                    backend="pool", attempts=rounds)
+                    backend="pool", attempts=rounds,
+                    transient=not isinstance(exc, ReproError))
             else:
                 key = specs[i].key()
                 outcomes[i] = JobOutcome(
@@ -194,7 +217,7 @@ def run_parallel(specs: Sequence[JobSpec], jobs: int,
         outcomes[i] = JobOutcome(
             key=specs[i].key(), status=STATUS_FAILED, result=None,
             error=f"worker crashed in {rounds} attempt(s): {crash_error}",
-            backend="pool", attempts=rounds)
+            backend="pool", attempts=rounds, transient=True)
     return [outcomes[i] for i in range(len(specs))]
 
 

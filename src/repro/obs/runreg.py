@@ -29,10 +29,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.obs.log import get_logger
+from repro.obs.registry import default_registry
+
 #: Bump on any incompatible change to the row layout.
 SCHEMA = "repro-obs-run/1"
 
 REGISTRY_FILENAME = "runs.jsonl"
+
+_log = get_logger("obs")
 
 
 def host_fingerprint() -> dict[str, Any]:
@@ -127,6 +132,10 @@ class RunRegistry:
         self.root = Path(root) if root is not None else default_runreg_dir()
         self.path = self.root / REGISTRY_FILENAME
         self._lock = threading.Lock()
+        #: True once an append failed: the registry keeps accepting
+        #: rows (and dropping them) so the workload never stops, but
+        #: the degradation is warned once and counted.
+        self.degraded = False
 
     def append(self, record: RunRecord) -> None:
         line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
@@ -135,8 +144,21 @@ class RunRegistry:
                 self.root.mkdir(parents=True, exist_ok=True)
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write(line)
-            except OSError:
-                pass  # provenance must never take the workload down
+            except OSError as exc:
+                # Provenance must never take the workload down: drop
+                # the row, warn once, and count every drop.
+                if not self.degraded:
+                    self.degraded = True
+                    _log.warning(
+                        "run registry unwritable; provenance rows are "
+                        "being dropped",
+                        extra={"path": str(self.path), "error": str(exc)})
+                default_registry().labeled_counter(
+                    "repro_obs_degraded_total",
+                    "Telemetry writes dropped because a sink is "
+                    "unwritable.", "sink").inc("runreg")
+            else:
+                self.degraded = False
 
     def records(self) -> list[RunRecord]:
         """All rows in append order, skipping torn/corrupt lines."""

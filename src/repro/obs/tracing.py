@@ -121,6 +121,9 @@ class SpanRecorder:
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self._sink: Path | None = None
+        #: True once a sink write failed: spans still land in the ring,
+        #: the drop is warned once and counted (see ``record``).
+        self.degraded = False
         env = os.environ.get("REPRO_OBS_SPANS")
         if env:
             self._sink = Path(env)
@@ -129,6 +132,7 @@ class SpanRecorder:
         """Append finished spans as JSON lines to ``path`` (None stops)."""
         with self._lock:
             self._sink = None if path is None else Path(path)
+            self.degraded = False
 
     def record(self, span: Span) -> None:
         with self._lock:
@@ -140,8 +144,24 @@ class SpanRecorder:
                 with open(sink, "a", encoding="utf-8") as handle:
                     handle.write(json.dumps(span.to_dict(),
                                             sort_keys=True) + "\n")
-            except OSError:
-                pass  # observability must never take the workload down
+            except OSError as exc:
+                # Observability must never take the workload down: the
+                # span stays in the in-memory ring, the sink line is
+                # dropped, warned once, and counted.
+                from repro.obs.log import get_logger
+                from repro.obs.registry import default_registry
+                if not self.degraded:
+                    self.degraded = True
+                    get_logger("obs").warning(
+                        "span sink unwritable; span lines are being "
+                        "dropped",
+                        extra={"path": str(sink), "error": str(exc)})
+                default_registry().labeled_counter(
+                    "repro_obs_degraded_total",
+                    "Telemetry writes dropped because a sink is "
+                    "unwritable.", "sink").inc("spans")
+            else:
+                self.degraded = False
 
     def spans(self, trace_id: str | None = None,
               name: str | None = None) -> list[Span]:

@@ -10,8 +10,10 @@ Every ``/v1`` simulation request resolves through one funnel:
    sha256 key) share one computation: the first becomes the *leader*,
    the rest await the leader's future and are answered ``coalesced``.
 3. **Admission control** — leaders enter a bounded queue; when it is
-   full the request is shed immediately (HTTP 429 + ``Retry-After``)
-   instead of queuing without bound.
+   full — or the circuit breaker (:mod:`repro.serve.breaker`) is open
+   because the jobs backend keeps failing whole batches — the request
+   is shed immediately (HTTP 429 + ``Retry-After``) instead of queuing
+   without bound behind doomed work.
 4. **Batched execution** — worker tasks drain the queue, fold up to
    ``max_batch`` misses into one :meth:`~repro.jobs.JobRunner.resolve`
    call, and run it on a thread pool with a per-batch timeout.  The
@@ -33,6 +35,7 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Callable
 
+from repro.faults import hooks as fault_hooks
 from repro.jobs import (
     JobResolution,
     JobRunner,
@@ -43,6 +46,7 @@ from repro.jobs import (
 from repro.obs import get_logger
 from repro.obs.registry import default_registry
 from repro.obs.tracing import TraceContext, current_context, span, use_context
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServeMetrics
 
@@ -128,6 +132,9 @@ class RequestPipeline:
         #: EMA of observed batch drain rate (requests/second); 0 until
         #: the first batch completes.
         self._drain_rate = 0.0
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            probe_after=config.breaker_probe_after)
 
     def _default_runner(self) -> JobRunner:
         return JobRunner(cache=self.cache, jobs=self.config.jobs,
@@ -172,6 +179,10 @@ class RequestPipeline:
                 cached = self.cache.get_or_none(key)
             if cached is not None:
                 self.metrics.hits.inc()
+                # A hit while the breaker is open is a drain signal: an
+                # abandoned (timed-out) batch kept running and warmed
+                # the cache, so the backend still finishes work.
+                self.breaker.note_drain()
                 return Resolution(key=key, status=STATUS_HIT, result=cached)
 
         # 2. Single-flight: identical in-flight work is joined, never
@@ -187,7 +198,16 @@ class RequestPipeline:
                 return replace(resolution, status=STATUS_COALESCED)
             return resolution
 
-        # 3. Admission control: a full queue sheds instead of queuing.
+        # 3. Admission control: a full queue — or an open circuit
+        #    breaker — sheds instead of queuing doomed work.
+        if not self.breaker.allow():
+            self.metrics.shed.inc()
+            retry_after = self.retry_after_seconds()
+            _log.warning("request shed: circuit open",
+                         extra={"key": key, "retry_after": retry_after})
+            return Resolution(
+                key=key, status=STATUS_SHED, result=None,
+                error="circuit open", retry_after=retry_after)
         future: asyncio.Future[Resolution] = (
             asyncio.get_running_loop().create_future())
         entry = _Entry(key=key, spec=spec, future=future,
@@ -247,6 +267,11 @@ class RequestPipeline:
 
         started = perf_counter()
         try:
+            # Clock-free timeout forcing: an armed fault plan can declare
+            # this batch expired without waiting out the real budget.
+            if fault_hooks.forced_timeout("serve.batch_timeout",
+                                          key=batch[0].key):
+                raise asyncio.TimeoutError
             resolutions = await asyncio.wait_for(
                 loop.run_in_executor(self._executor, call),
                 timeout=self.config.request_timeout)
@@ -254,6 +279,7 @@ class RequestPipeline:
             _log.warning("batch timed out",
                          extra={"batch_size": len(batch),
                                 "timeout": self.config.request_timeout})
+            self.breaker.record_failure()
             self._finish(batch, [
                 Resolution(key=entry.key, status=STATUS_TIMEOUT, result=None,
                            error=f"no result within "
@@ -263,12 +289,19 @@ class RequestPipeline:
         except Exception as exc:  # runner bug: fail the batch, not the server
             _log.error("batch failed",
                        extra={"batch_size": len(batch), "error": str(exc)})
+            self.breaker.record_failure()
             self._finish(batch, [
                 Resolution(key=entry.key, status=STATUS_FAILED, result=None,
                            error=f"{type(exc).__name__}: {exc}")
                 for entry in batch])
             return
         elapsed = perf_counter() - started
+        # A batch counts as a breaker failure only when it served
+        # nobody; one good resolution proves the backend still works.
+        if any(r.result is not None for r in resolutions):
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
         self._observe_drain(len(batch), elapsed)
         default_registry().histogram(
             "repro_serve_batch_seconds",

@@ -28,10 +28,12 @@ run to completion, keep-alive connections asking for more work get
 from __future__ import annotations
 
 import asyncio
+import errno
 import signal
 from time import perf_counter
 
-from repro.errors import ServeRequestError
+from repro.errors import ServeError, ServeRequestError
+from repro.faults import hooks as fault_hooks
 from repro.jobs import JobSpec, PolicySpec, ResultCache, app_result_from_dict
 from repro.obs import get_logger
 from repro.obs.registry import default_registry
@@ -107,15 +109,35 @@ class ExperimentServer:
     # -- lifecycle ----------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and spawn the pipeline workers."""
+        """Bind the socket and spawn the pipeline workers.
+
+        A requested (non-ephemeral) port can be racily taken between
+        the caller's check and our bind — TIME_WAIT stragglers, test
+        suites cycling servers on one host.  EADDRINUSE is retried up
+        to ``config.bind_retries`` times with a short growing pause
+        before startup fails; any other bind error fails immediately.
+        """
         await self.pipeline.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, host=self.config.host,
-            port=self.config.port)
-        sockets = self._server.sockets or ()
-        for sock in sockets:
+        for attempt in range(self.config.bind_retries + 1):
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, host=self.config.host,
+                    port=self.config.port)
+                break
+            except OSError as exc:
+                if (exc.errno != errno.EADDRINUSE
+                        or attempt >= self.config.bind_retries):
+                    raise
+                _log.warning("bind failed: address in use; retrying",
+                             extra={"port": self.config.port,
+                                    "attempt": attempt + 1})
+                await asyncio.sleep(0.05 * (attempt + 1))
+        sockets = self._server.sockets if self._server else ()
+        for sock in sockets or ():
             self.port = sock.getsockname()[1]
             break
+        else:
+            raise ServeError("server bound no listening socket")
 
     def install_signal_handlers(self) -> None:
         """Drain on SIGTERM/SIGINT (call from the loop's thread)."""
@@ -159,7 +181,16 @@ class ExperimentServer:
             self._conn_tasks.add(task)
         self._connections[writer] = False
         try:
+            # Fault site serve.connection: drop the socket on arrival,
+            # mid-handshake from the client's point of view.
+            if fault_hooks.drop_connection("serve.connection"):
+                return
             while True:
+                # Fault site serve.read: stall before reading, as a
+                # slow-loris client trickling its request would.
+                delay = fault_hooks.delay_seconds("serve.read")
+                if delay > 0:
+                    await asyncio.sleep(delay)
                 try:
                     request = await read_request(reader)
                 except HttpProtocolError as exc:
@@ -269,6 +300,7 @@ class ExperimentServer:
             "status": "draining" if self._draining else "ok",
             "in_flight": self.metrics.in_flight.value,
             "queue_depth": self.config.queue_depth,
+            "breaker": self.pipeline.breaker.to_dict(),
         }
 
     # -- endpoint handlers --------------------------------------------

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
+
+try:  # Soak profiles for the nightly chaos workflow.
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile("ci", deadline=None)
+    settings.register_profile(
+        "soak",
+        max_examples=1000,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    # Select with REPRO_HYPOTHESIS_PROFILE=soak (the chaos-soak
+    # workflow does); default stays the library default locally.
+    _profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE")
+    if _profile:
+        settings.load_profile(_profile)
+except ImportError:  # pragma: no cover - property tests skip themselves
+    pass
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,266 @@
+"""Chaos-harness tests: recovery paths under injected faults.
+
+The determinism suite locks in the contract the nightly soak relies
+on — same plan + same seed reproduces identical firings, cache state,
+and manifest counts — and the recovery tests drive each hardened path
+(backoff retry, quarantine-and-recompute, tolerated cache writes, the
+serve retry loop) through the real JobRunner / ServerThread code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import JobError
+from repro.faults import FaultPlan, FaultRule, injected
+from repro.faults.chaos import (
+    example_plan,
+    run_chaos_batch,
+    run_chaos_serve,
+)
+from repro.jobs import JobRunner, JobSpec, PolicySpec, ResultCache, WorkloadRef
+from repro.sim.config import MachineConfig
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _spec(iterations: int = 8, threads: int = 2,
+          config: MachineConfig | None = None) -> JobSpec:
+    return JobSpec(
+        workload=WorkloadRef.synthetic(cs_fraction=0.2, bus_lines=2,
+                                       iterations=iterations,
+                                       compute_instr=200),
+        policy=PolicySpec.static(threads),
+        config=config or MachineConfig.small())
+
+
+def _serve_spec(iterations: int = 8) -> JobSpec:
+    # The serve request schema rebuilds machines from the Table 1
+    # baseline, so serve-mode specs must use it (see _request_body).
+    return _spec(iterations, config=MachineConfig.asplos08_baseline())
+
+
+# -- hardened recovery paths ------------------------------------------
+
+def test_runner_retries_transient_crash_with_backoff(tmp_path):
+    plan = FaultPlan(rules=(
+        FaultRule(site="executor.job", kind="crash", max_fires=1),))
+    runner = JobRunner(cache=ResultCache(tmp_path / "c"),
+                       backoff_base=0.001)
+    with injected(plan) as injector:
+        (resolution,) = runner.resolve([_spec()])
+        assert injector.firing_count() == 1
+    assert resolution.status == "computed"
+    assert resolution.result is not None
+
+
+def test_runner_gives_up_after_the_retry_budget(tmp_path):
+    plan = FaultPlan(rules=(
+        FaultRule(site="executor.job", kind="crash"),))  # every attempt
+    runner = JobRunner(cache=ResultCache(tmp_path / "c"),
+                       backoff_base=0.001, retry_budget=2)
+    with injected(plan) as injector:
+        (resolution,) = runner.resolve([_spec()])
+        # Initial attempt plus the whole retry budget, then surrender.
+        assert injector.firing_count() == 3
+    assert resolution.status == "failed"
+    assert "injected crash" in resolution.error
+
+
+def test_runner_run_raises_but_never_crashes_on_exhausted_budget(tmp_path):
+    plan = FaultPlan(rules=(
+        FaultRule(site="executor.job", kind="crash"),))
+    runner = JobRunner(cache=ResultCache(tmp_path / "c"),
+                       backoff_base=0.001, retry_budget=0)
+    with injected(plan):
+        with pytest.raises(JobError):
+            runner.run([_spec()])
+
+
+def test_deterministic_sim_failures_are_never_retried(tmp_path, monkeypatch):
+    # A ReproError from the simulation fails identically every time;
+    # burning the retry budget on it would only slow the batch down.
+    from repro.errors import ReproError
+    from repro.jobs import executor
+
+    calls = {"n": 0}
+
+    def deterministic_failure(spec_dict, trace_dir):
+        calls["n"] += 1
+        raise ReproError("deadlock: provably stuck")
+
+    monkeypatch.setattr(executor, "_run_payload", deterministic_failure)
+    runner = JobRunner(cache=ResultCache(tmp_path / "c"),
+                       backoff_base=0.001, retry_budget=3)
+    (resolution,) = runner.resolve([_spec()])
+    assert resolution.status == "failed"
+    assert calls["n"] == 1  # no retries
+
+
+def test_corrupt_cache_entry_is_quarantined_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = _spec()
+    baseline = JobRunner(cache=cache).resolve([spec])[0]
+    assert baseline.status == "computed"
+    assert len(cache) == 1
+
+    plan = FaultPlan(rules=(
+        FaultRule(site="cache.read", kind="corrupt", max_fires=1),))
+    with injected(plan):
+        (resolution,) = JobRunner(cache=cache).resolve([spec])
+    # Served a recomputed result, never the corrupt bytes.
+    assert resolution.status == "computed"
+    assert resolution.result == baseline.result
+    # The bad entry left the lookup tree into quarantine, and the
+    # recomputed result took its place.
+    assert cache.quarantined_count() == 1
+    assert len(cache) == 1
+    assert cache.get_or_none(spec.key()) == baseline.result
+
+
+def test_quarantined_entries_are_never_rereadable(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    spec = _spec()
+    JobRunner(cache=cache).resolve([spec])
+    path = cache.path_for(spec.key())
+    path.write_text("{ definitely not json", encoding="utf-8")
+    assert cache.get(spec.key()) is None
+    assert not path.exists()
+    assert cache.quarantined_count() == 1
+    # Even a repeat offender under the same name is kept distinctly.
+    JobRunner(cache=cache).resolve([spec])
+    path.write_text("{ corrupt again", encoding="utf-8")
+    assert cache.get(spec.key()) is None
+    assert cache.quarantined_count() == 2
+
+
+def test_unwritable_cache_degrades_to_memory_only(tmp_path):
+    plan = FaultPlan(rules=(
+        FaultRule(site="cache.write", kind="io-error"),))
+    cache = ResultCache(tmp_path / "c")
+    runner = JobRunner(cache=cache)
+    with injected(plan):
+        (resolution,) = runner.resolve([_spec()])
+        assert resolution.status == "computed"
+        # Memoized in-process even though the disk write failed.
+        (again,) = runner.resolve([_spec()])
+        assert again.status == "hit"
+    assert len(cache) == 0
+
+
+# -- the chaos harness ------------------------------------------------
+
+def test_chaos_batch_passes_with_the_example_plan():
+    report = run_chaos_batch(example_plan(), [_spec(), _spec(12)])
+    assert report.passed, report.summary()
+    assert report.statuses == {"computed": 2}
+    assert report.injected > 0
+    assert set(report.observed_cycles) == set(report.baseline_cycles)
+    payload = report.to_dict()
+    assert payload["schema"] == "repro-chaos/1"
+    assert payload["passed"] is True
+    json.dumps(payload)  # report is JSON-serializable
+
+
+def test_chaos_batch_is_deterministic_per_plan_and_seed():
+    specs = [_spec(), _spec(12)]
+    first = run_chaos_batch(example_plan(), specs)
+    second = run_chaos_batch(example_plan(), specs)
+    assert first.firings == second.firings
+    assert first.statuses == second.statuses
+    assert first.manifest_counts == second.manifest_counts
+    assert first.observed_cycles == second.observed_cycles
+    assert (first.cache_entries, first.quarantined) == \
+        (second.cache_entries, second.quarantined)
+    # A different seed may fire differently, but invariants still hold.
+    reseeded = run_chaos_batch(example_plan(seed=999), specs)
+    assert reseeded.passed, reseeded.summary()
+
+
+def test_chaos_batch_reports_violations_without_raising(monkeypatch):
+    # Sabotage the accounting on purpose: a lost spec must be reported
+    # as a violation, not an exception.
+    from repro.faults import chaos as chaos_mod
+
+    class _LossyRunner(JobRunner):
+        def resolve(self, specs):
+            return super().resolve(specs)[:-1]  # drop one answer
+
+    monkeypatch.setattr(chaos_mod, "JobRunner", _LossyRunner)
+    report = run_chaos_batch(FaultPlan(), [_spec(), _spec(12)])
+    assert not report.passed
+    assert [v.name for v in report.violations()] == \
+        ["every-spec-accounted-once"]
+
+
+def test_chaos_serve_survives_drops_timeouts_and_slow_reads():
+    plan = FaultPlan(seed=7, rules=(
+        FaultRule(site="serve.connection", kind="drop", max_fires=2),
+        FaultRule(site="serve.read", kind="slow", latency=0.02,
+                  max_fires=2),
+        FaultRule(site="serve.batch_timeout", kind="force", max_fires=1),
+        FaultRule(site="cache.write", kind="io-error", max_fires=1),
+    ))
+    report = run_chaos_serve(plan, [_serve_spec(), _serve_spec(12)])
+    assert report.passed, report.summary()
+    assert report.injected > 0
+    assert set(report.observed_cycles) == set(report.baseline_cycles)
+    names = [inv.name for inv in report.invariants]
+    assert "server-stays-responsive" in names
+
+
+def test_serve_chaos_refuses_inexpressible_machine_configs():
+    from repro.errors import FaultError
+
+    with pytest.raises(FaultError, match="machine config"):
+        run_chaos_serve(FaultPlan(), [_spec()])  # small() caches differ
+
+
+# -- the example plan artifact ----------------------------------------
+
+def test_example_plan_file_matches_the_builtin():
+    on_disk = FaultPlan.load(EXAMPLES / "chaos_plan.json")
+    assert on_disk == example_plan()
+
+
+def test_chaos_walkthrough_example_runs(capsys):
+    import importlib.util
+    import sys
+
+    path = EXAMPLES / "chaos_walkthrough.py"
+    spec = importlib.util.spec_from_file_location("example_chaos", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules["example_chaos"] = module
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "chaos batch: PASS" in out
+    assert "re-run with the same seed fires identically: True" in out
+
+
+# -- the chaos CLI ----------------------------------------------------
+
+def test_cli_chaos_list_sites(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--list-sites"]) == 0
+    out = capsys.readouterr().out
+    assert "cache.read" in out and "serve.batch_timeout" in out
+
+
+def test_cli_chaos_batch_json_report(tmp_path, capsys):
+    from repro.cli import main
+
+    report_path = tmp_path / "chaos.json"
+    code = main(["chaos", "--mode", "batch", "--workloads", "PageMine",
+                 "--scale", "0.05", "--json",
+                 "--report", str(report_path)])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is True
+    assert payload["reports"][0]["mode"] == "batch"
+    assert json.loads(report_path.read_text()) == payload

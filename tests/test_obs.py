@@ -535,3 +535,115 @@ def test_loadgen_report_json_counts():
     assert doc["elapsed"] == pytest.approx(1.25)
     assert set(doc["latency_ms"]) == {"p50", "p95", "p99"}
     assert doc["completed"] == 8 and doc["errors"] == 2
+
+
+# -- graceful degradation: unwritable sinks ---------------------------
+
+def _blocked_path(tmp_path):
+    """A path whose parent is a *file*, so any mkdir/open fails."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("in the way", encoding="utf-8")
+    return blocker / "nested"
+
+
+class _ListHandler(logging.Handler):
+    """Collects records directly: the repro root logger does not
+    propagate once configure_logging has run, so caplog can't see it."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.records: list[logging.LogRecord] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.records.append(record)
+
+
+@pytest.fixture()
+def obs_warnings():
+    logger = logging.getLogger("repro.obs")
+    handler = _ListHandler()
+    logger.addHandler(handler)
+    previous = logger.level
+    logger.setLevel(logging.WARNING)
+    yield handler.records
+    logger.removeHandler(handler)
+    logger.setLevel(previous)
+
+
+def test_run_registry_survives_unwritable_root(tmp_path, obs_warnings):
+    counter = default_registry().labeled_counter(
+        "repro_obs_degraded_total",
+        "Telemetry writes dropped because a sink is unwritable.", "sink")
+    before = counter.value("runreg")
+    registry = RunRegistry(_blocked_path(tmp_path))
+    registry.append(_record())
+    registry.append(_record(status="hit"))
+    assert registry.degraded is True
+    assert registry.records() == []
+    # Every drop is counted, but the warning fires once per episode.
+    assert counter.value("runreg") == before + 2
+    warnings = [r for r in obs_warnings
+                if "run registry unwritable" in r.getMessage()]
+    assert len(warnings) == 1
+
+
+def test_run_registry_recovers_and_rewarns_per_episode(tmp_path, obs_warnings):
+    import shutil
+
+    blocker = tmp_path / "blocker"
+    blocker.write_text("in the way", encoding="utf-8")
+    registry = RunRegistry(blocker / "reg")
+    registry.append(_record())
+    assert registry.degraded is True
+    blocker.unlink()  # the disk came back
+    registry.append(_record(status="hit"))
+    assert registry.degraded is False
+    assert [r.status for r in registry.records()] == ["hit"]
+    # A fresh outage warns again: once per episode, not per process.
+    shutil.rmtree(blocker)
+    blocker.write_text("back in the way", encoding="utf-8")
+    registry.append(_record())
+    assert registry.degraded is True
+    warnings = [r for r in obs_warnings
+                if "run registry unwritable" in r.getMessage()]
+    assert len(warnings) == 2
+
+
+def test_span_sink_degrades_but_ring_keeps_the_span(tmp_path, obs_warnings):
+    from repro.obs.tracing import Span
+
+    counter = default_registry().labeled_counter(
+        "repro_obs_degraded_total",
+        "Telemetry writes dropped because a sink is unwritable.", "sink")
+    before = counter.value("spans")
+    rec = SpanRecorder(capacity=8)
+    rec.set_sink(_blocked_path(tmp_path))
+    mine = Span(trace_id="t", span_id="s", parent_id="", name="degraded",
+                start=0.0, end=1.0)
+    rec.record(mine)
+    rec.record(Span(trace_id="t", span_id="s2", parent_id="",
+                    name="degraded2", start=1.0, end=2.0))
+    assert rec.degraded is True
+    assert counter.value("spans") == before + 2
+    # The sink line was dropped but the in-memory ring kept the span.
+    assert [s.name for s in rec.spans()] == ["degraded", "degraded2"]
+    warnings = [r for r in obs_warnings
+                if "span sink unwritable" in r.getMessage()]
+    assert len(warnings) == 1
+
+
+def test_span_sink_set_sink_resets_the_degraded_episode(tmp_path):
+    from repro.obs.tracing import Span
+
+    rec = SpanRecorder(capacity=8)
+    rec.set_sink(_blocked_path(tmp_path))
+    rec.record(Span(trace_id="t", span_id="s", parent_id="", name="n",
+                    start=0.0, end=1.0))
+    assert rec.degraded is True
+    good = tmp_path / "spans.jsonl"
+    rec.set_sink(good)
+    assert rec.degraded is False
+    rec.record(Span(trace_id="t", span_id="s2", parent_id="", name="n2",
+                    start=1.0, end=2.0))
+    assert rec.degraded is False
+    assert len(read_spans_jsonl(good)) == 1

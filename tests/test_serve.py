@@ -713,3 +713,109 @@ def test_job_runner_resolve_never_raises_on_timeout(monkeypatch):
     with pytest.raises(JobError, match="timeout"):
         resolutions[0].app_result()
     assert runner.manifest.counts["timeouts"] == 2
+
+
+# -- satellite: bind retry on EADDRINUSE ------------------------------
+
+def _flaky_start_server(monkeypatch, failures: int,
+                        error: int | None = None):
+    """Patch asyncio.start_server to fail ``failures`` times first."""
+    import errno as errno_mod
+
+    real = asyncio.start_server
+    calls = {"n": 0}
+
+    async def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] <= failures:
+            code = error if error is not None else errno_mod.EADDRINUSE
+            raise OSError(code, os.strerror(code))
+        return await real(*args, **kwargs)
+
+    monkeypatch.setattr(asyncio, "start_server", flaky)
+    return calls
+
+
+def test_bind_retries_past_transient_eaddrinuse(monkeypatch):
+    calls = _flaky_start_server(monkeypatch, failures=2)
+    server = ExperimentServer(ServeConfig(port=0, workers=1,
+                                          bind_retries=3))
+
+    async def go():
+        await server.start()
+        port = server.port
+        await server.drain()
+        return port
+
+    port = asyncio.run(go())
+    assert calls["n"] == 3
+    assert isinstance(port, int) and port > 0  # chosen port surfaced
+
+
+def test_bind_gives_up_when_retries_are_exhausted(monkeypatch):
+    import errno
+
+    calls = _flaky_start_server(monkeypatch, failures=100)
+    server = ExperimentServer(ServeConfig(port=0, workers=1,
+                                          bind_retries=2))
+
+    async def go():
+        try:
+            with pytest.raises(OSError) as excinfo:
+                await server.start()
+            return excinfo.value.errno
+        finally:
+            await server.pipeline.drain()
+
+    assert asyncio.run(go()) == errno.EADDRINUSE
+    assert calls["n"] == 3  # the first try plus both retries
+
+
+def test_bind_retries_zero_fails_on_first_eaddrinuse(monkeypatch):
+    calls = _flaky_start_server(monkeypatch, failures=100)
+    server = ExperimentServer(ServeConfig(port=0, workers=1,
+                                          bind_retries=0))
+
+    async def go():
+        try:
+            with pytest.raises(OSError):
+                await server.start()
+        finally:
+            await server.pipeline.drain()
+
+    asyncio.run(go())
+    assert calls["n"] == 1
+
+
+def test_non_eaddrinuse_bind_errors_are_not_retried(monkeypatch):
+    import errno
+
+    calls = _flaky_start_server(monkeypatch, failures=100,
+                                error=errno.EACCES)
+    server = ExperimentServer(ServeConfig(port=0, workers=1,
+                                          bind_retries=5))
+
+    async def go():
+        try:
+            with pytest.raises(OSError) as excinfo:
+                await server.start()
+            return excinfo.value.errno
+        finally:
+            await server.pipeline.drain()
+
+    assert asyncio.run(go()) == errno.EACCES
+    assert calls["n"] == 1  # privilege errors never resolve by waiting
+
+
+def test_server_thread_surfaces_the_bound_port():
+    thread = ServerThread(ServeConfig(port=0, workers=1))
+    try:
+        thread.start()
+        assert thread.port > 0
+        client = ServeClient(port=thread.port)
+        try:
+            assert client.healthz()["status"] in ("ok", "draining")
+        finally:
+            client.close()
+    finally:
+        thread.stop()
